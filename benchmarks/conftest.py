@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures: offline-trained runners per dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import get_runner
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def runner_ds1():
+    return get_runner(1)
+
+
+@pytest.fixture(scope="session")
+def runner_ds2():
+    return get_runner(2)
+
+
+@pytest.fixture(scope="session")
+def runner_ds3():
+    return get_runner(3)

@@ -1,0 +1,112 @@
+"""Extension benchmark: heterogeneous link quality.
+
+The paper's energy constraint is ``c(A_j) + C_j <= B_j`` — the
+communication cost ``C_j`` is per camera and "depends on the link
+quality from the camera to the central controller" (Section IV).
+This bench gives one camera a much weaker link, making its
+communication cost comparable to HOG's processing cost: with a tight
+budget, EECS must put that camera on the cheap algorithm (or drop it)
+while the well-connected cameras keep the accurate one.
+"""
+
+import numpy as np
+
+from repro.core.controller import EECSController
+from repro.core.selection import AssessmentData
+from repro.energy.battery import Battery
+from repro.energy.communication import CommunicationEnergyModel
+from repro.experiments.tables import format_table
+
+BUDGET = 2.0
+#: The weak camera's per-byte energy multiplier: raises its per-frame
+#: communication cost to ~1.17 J, pricing HOG (1.08 J) out of a 2 J
+#: budget while ACF (0.07 J) still fits.
+WEAK_LINK_QUALITY = 150.0
+
+
+def run_with_weak_link(runner):
+    dataset = runner.dataset
+    env = dataset.environment
+    weak_camera = dataset.camera_ids[-1]
+
+    controller = EECSController(
+        runner.config, runner.library, runner.matcher
+    )
+    for camera_id in dataset.camera_ids:
+        quality = (
+            WEAK_LINK_QUALITY if camera_id == weak_camera else 1.0
+        )
+        controller.register_camera(
+            camera_id,
+            processing_model=runner.energy_model,
+            communication_model=CommunicationEnergyModel(
+                width=env.width, height=env.height, link_quality=quality
+            ),
+            battery=Battery(),
+        )
+        controller.assign_training_item(camera_id, f"T-{camera_id}")
+
+    # Collect assessment metadata: per camera, every algorithm that
+    # fits the budget given ITS link's communication cost.
+    records = dataset.frames(1000, 1500, only_ground_truth=True)[:4]
+    rng = np.random.default_rng(55)
+    assessment = AssessmentData()
+    for record in records:
+        frame = {}
+        for camera_id in dataset.camera_ids:
+            item = runner.library.get(f"T-{camera_id}")
+            comm = controller.camera(camera_id)
+            comm_cost = comm.communication_model.per_frame_cost()
+            frame[camera_id] = {}
+            for name, profile in item.profiles.items():
+                if profile.energy_per_frame + comm_cost > BUDGET:
+                    continue
+                detections = runner.detectors[name].detect(
+                    record.observation(camera_id),
+                    rng,
+                    threshold=profile.threshold,
+                )
+                controller.calibrate_probabilities(camera_id, detections)
+                frame[camera_id][name] = detections
+        assessment.frames.append(frame)
+
+    decision = controller.select(
+        assessment,
+        enable_subset=False,
+        enable_downgrade=False,
+        budget_overrides={c: BUDGET for c in dataset.camera_ids},
+    )
+    return weak_camera, decision
+
+
+def test_bench_link_quality(benchmark, runner_ds1):
+    weak_camera, decision = benchmark.pedantic(
+        run_with_weak_link, args=(runner_ds1,), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        ["camera", "link", "assigned algorithm"],
+        [
+            [
+                camera,
+                "weak" if camera == weak_camera else "good",
+                decision.assignment.get(camera, "(dropped)"),
+            ]
+            for camera in sorted(
+                set(decision.assignment) | {weak_camera}
+            )
+        ],
+    ))
+
+    # Well-connected cameras can afford the accurate algorithm.
+    good = [
+        algorithm
+        for camera, algorithm in decision.assignment.items()
+        if camera != weak_camera
+    ]
+    assert good and all(a == "HOG" for a in good)
+
+    # The weak-link camera cannot: it is either on the cheap
+    # algorithm or excluded altogether.
+    weak_assignment = decision.assignment.get(weak_camera)
+    assert weak_assignment in (None, "ACF")

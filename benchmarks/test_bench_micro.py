@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the computational kernels.
+
+These quantify the per-call costs that the paper's system-level
+numbers are built from: frame feature extraction (what a camera
+computes before an upload), the GFK similarity (what the controller
+computes per training-item comparison), detector scoring, and
+cross-camera grouping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detection.detectors import make_detector
+from repro.domain_adaptation.similarity import video_similarity
+from repro.reid.matcher import CrossCameraMatcher
+from repro.vision.bow import BagOfWords
+from repro.vision.hog import hog_descriptor
+from repro.vision.keypoints import extract_descriptors
+
+
+@pytest.fixture(scope="module")
+def frame(runner_ds1):
+    record = runner_ds1.dataset.frames(1000, 1001)[0]
+    return record.observation(runner_ds1.dataset.camera_ids[0])
+
+
+def test_bench_hog_descriptor(benchmark, frame):
+    result = benchmark(hog_descriptor, frame.image)
+    assert result.shape == (3780,)
+
+
+def test_bench_keypoint_descriptors(benchmark, frame):
+    result = benchmark(extract_descriptors, frame.image)
+    assert result.shape[1] == 64
+
+
+def test_bench_gfk_similarity(benchmark):
+    rng = np.random.default_rng(0)
+    mean_a, mean_b = rng.normal(size=4180), rng.normal(size=4180)
+    t = mean_a + 0.3 * rng.normal(size=(20, 4180))
+    v = mean_b + 0.3 * rng.normal(size=(20, 4180))
+    sim = benchmark(video_similarity, t, v, 10)
+    assert 0.0 < sim <= 1.0
+
+
+def test_bench_detector_detect(benchmark, runner_ds1, frame):
+    detector = make_detector("HOG", runner_ds1.dataset.environment)
+    rng = np.random.default_rng(1)
+    detections = benchmark(detector.detect, frame, rng, 0.5)
+    assert isinstance(detections, list)
+
+
+def test_bench_matcher_group(benchmark, runner_ds1):
+    dataset = runner_ds1.dataset
+    record = dataset.frames(1000, 1001)[0]
+    detector = make_detector("LSVM", dataset.environment)
+    rng = np.random.default_rng(2)
+    detections = []
+    for camera_id in dataset.camera_ids:
+        detections.extend(
+            detector.detect(record.observation(camera_id), rng, -1.2)
+        )
+    groups = benchmark(runner_ds1.matcher.group, detections)
+    assert len(groups) >= 1
+
+
+def test_bench_bow_histogram(benchmark, frame, rng):
+    descriptors = [
+        d for d in (extract_descriptors(frame.image),) if len(d)
+    ]
+    bow = BagOfWords(vocabulary_size=400, rng=rng)
+    bow.fit(np.vstack(descriptors * 4))
+    hist = benchmark(bow.transform_image, frame.image)
+    assert hist.shape == (400,)

@@ -1,0 +1,50 @@
+"""Table III: algorithm accuracy/cost on dataset #2 (chap), camera 1,
+training segment.
+
+Paper's measured operating points:
+
+    HOG   0.6   0.80  0.42  0.55   9.86  3.4
+    ACF   20    0.83  0.89  0.86   0.315 0.4
+    C4    0.5   0.70  0.70  0.70   5.56  6.8
+    LSVM  -0.2  0.84  0.83  0.84   25.06 32.2
+
+Shape asserted: ACF wins on the cluttered high-resolution scene (both
+most accurate AND cheapest); HOG's precision collapses with clutter;
+every algorithm costs more than at 360x288.
+"""
+
+from repro.experiments.table2_3_4 import algorithm_table, render_table
+
+PAPER_F_SCORES = {"HOG": 0.55, "ACF": 0.86, "C4": 0.70, "LSVM": 0.84}
+
+
+def test_bench_table3(benchmark, runner_ds2):
+    rows = benchmark.pedantic(
+        algorithm_table,
+        kwargs=dict(
+            dataset_number=2,
+            camera_index=0,
+            segment="train",
+            dataset=runner_ds2.dataset,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Table III (dataset #2, cam 1, train)"))
+
+    by_name = {r.algorithm: r for r in rows}
+    # ACF is both most accurate and cheapest on chap.
+    assert by_name["ACF"].f_score == max(r.f_score for r in rows)
+    assert by_name["ACF"].energy_per_frame == min(
+        r.energy_per_frame for r in rows
+    )
+    # HOG's precision collapses with furniture clutter (paper: 0.42).
+    assert by_name["HOG"].precision < 0.7
+    # Energy matches the fitted figures at 1024x768.
+    assert abs(by_name["HOG"].energy_per_frame - 9.86) < 0.3
+    assert abs(by_name["LSVM"].energy_per_frame - 25.06) < 0.8
+    for name, f_paper in PAPER_F_SCORES.items():
+        assert abs(by_name[name].f_score - f_paper) < 0.15, (
+            name, by_name[name].f_score, f_paper,
+        )

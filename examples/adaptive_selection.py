@@ -1,0 +1,94 @@
+"""Domain adaptation in action: matching unknown feeds to training items.
+
+A camera wakes up in an unknown environment, extracts HOG ++ BoW
+features from a short clip, and uploads them to the controller.  The
+controller compares the clip against its training library on the
+Grassmann manifold (Eqs. 1-5) and picks the detection algorithm that
+worked best on the closest match — without ever seeing ground truth
+for the new feed.
+
+This example builds a small training library from datasets #1 and #2,
+then feeds it test clips from both and shows the similarity scores and
+the resulting algorithm choices.
+
+Run:  python examples/adaptive_selection.py
+"""
+
+import numpy as np
+
+from repro.datasets import make_dataset
+from repro.domain_adaptation import VideoComparator
+from repro.experiments.table2_3_4 import algorithm_table
+from repro.experiments.tables import format_table
+from repro.vision.bow import BagOfWords
+from repro.vision.features import FrameFeatureExtractor
+from repro.vision.keypoints import extract_descriptors
+
+WINDOW = 12  # frames per clip (the paper uses 100)
+
+
+def sample_images(dataset, camera_id, start, end, count):
+    step = max(1, (end - start) // count)
+    records = dataset.frames(start, start + step * count, step=step)
+    return [r.observation(camera_id).image for r in records]
+
+
+def main() -> None:
+    datasets = {1: make_dataset(1), 2: make_dataset(2)}
+    for ds in datasets.values():
+        ds.cache_frames = False
+
+    print("Building the 400-word visual vocabulary ...")
+    descriptors = []
+    for ds in datasets.values():
+        for camera_id in ds.camera_ids[:2]:
+            for image in sample_images(ds, camera_id, 0, 1000, 6):
+                d = extract_descriptors(image)
+                if len(d):
+                    descriptors.append(d)
+    bow = BagOfWords(vocabulary_size=400, rng=np.random.default_rng(0))
+    bow.fit(np.vstack(descriptors))
+    extractor = FrameFeatureExtractor(bow)
+
+    print("Registering training clips (frames 0-1000) ...")
+    comparator = VideoComparator(subspace_dim=8)
+    best_algorithm = {}
+    for number, ds in datasets.items():
+        rows = algorithm_table(number, camera_index=0, segment="train",
+                               dataset=ds)
+        deployable = [r for r in rows if r.algorithm != "LSVM"]
+        name = f"T_{number}.1"
+        best_algorithm[name] = max(deployable, key=lambda r: r.f_score)
+        images = sample_images(ds, ds.camera_ids[0], 0, 1000, WINDOW)
+        comparator.add_training_video(name, extractor.extract_video(images))
+
+    print("Matching unknown test clips (frames 1000+) ...\n")
+    rows = []
+    for number, ds in datasets.items():
+        images = sample_images(ds, ds.camera_ids[0], 1200, 2800, WINDOW)
+        features = extractor.extract_video(images)
+        sims = comparator.similarities(features)
+        match, score = comparator.best_match(features)
+        chosen = best_algorithm[match]
+        rows.append([
+            f"V_{number}.1",
+            " ".join(f"{k}={v:.2f}" for k, v in sorted(sims.items())),
+            match,
+            chosen.algorithm,
+            chosen.f_score,
+        ])
+    print(format_table(
+        ["test clip", "similarities", "matched item",
+         "chosen algorithm", "expected f_score"],
+        rows,
+    ))
+    print(
+        "\nEach test clip matches the training item from its own "
+        "environment, so the controller assigns HOG to the lab feed "
+        "and ACF to the cluttered chap feed -- the paper's Fig. 3 "
+        "adaptive behaviour."
+    )
+
+
+if __name__ == "__main__":
+    main()

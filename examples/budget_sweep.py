@@ -1,0 +1,57 @@
+"""Energy/accuracy frontier: sweeping the per-frame energy budget.
+
+The paper evaluates two budget regimes (Figs. 5a/5b); this example
+sweeps a whole range.  As the budget shrinks, the set of affordable
+algorithms contracts (LSVM -> C4 -> HOG -> ACF on dataset #1) and
+EECS degrades gracefully: fewer cameras, cheaper algorithms, lower —
+but bounded — accuracy.
+
+Run:  python examples/budget_sweep.py
+"""
+
+import numpy as np
+
+from repro.core import SimulationRunner
+from repro.datasets import make_dataset
+from repro.experiments.tables import format_table
+
+
+def main() -> None:
+    print("Offline training on dataset #1 ...")
+    runner = SimulationRunner(make_dataset(1), rng=np.random.default_rng(9))
+
+    budgets = [6.0, 3.5, 2.0, 1.0, 0.5, 0.1]
+    rows = []
+    for budget in budgets:
+        try:
+            result = runner.run(mode="full", budget=budget)
+        except RuntimeError as exc:
+            rows.append([budget, "-", "-", "-", f"infeasible: {exc}"])
+            continue
+        cameras = [d.num_active for d in result.decisions]
+        algorithms = sorted(
+            {a for d in result.decisions for a in d.assignment.values()}
+        )
+        rows.append([
+            budget,
+            result.humans_detected,
+            f"{result.detection_rate:.0%}",
+            result.energy_joules,
+            f"cams={cameras} algs={'/'.join(algorithms)}",
+        ])
+
+    print()
+    print(format_table(
+        ["budget (J/frame)", "humans detected", "rate", "energy (J)",
+         "EECS choices"],
+        rows,
+    ))
+    print(
+        "\nAs the budget drops below each algorithm's per-frame cost "
+        "(LSVM 3.31 J, HOG 1.08 J, ACF 0.07 J at 360x288), EECS falls "
+        "back to cheaper detectors and fewer cameras instead of dying."
+    )
+
+
+if __name__ == "__main__":
+    main()

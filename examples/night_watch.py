@@ -1,0 +1,67 @@
+"""Night watch: EECS adapts to a fourth environment the paper never saw.
+
+The terrace after dark (dataset #4, an extension of this reproduction)
+starves gradient- and contour-based detectors; only the part-based
+LSVM keeps working.  EECS's offline training discovers this by itself
+— the night ranking inverts the daytime one — and the budget then
+decides whether the network can afford night vision:
+
+* a generous budget deploys LSVM (expensive but robust at night);
+* a tight budget falls back to HOG/ACF and accepts the accuracy loss.
+
+The example also shows the latency angle: LSVM at ~6.3 s/frame cannot
+keep the paper's one-frame-per-2-s cadence, so a real deployment
+would also have to drop its frame rate at night.
+
+Run:  python examples/night_watch.py
+"""
+
+from repro.core import SimulationRunner
+from repro.datasets import make_dataset
+from repro.experiments.tables import format_table
+
+
+def main() -> None:
+    print("Offline training: terrace by day (#3) and by night (#4) ...")
+    day = SimulationRunner(make_dataset(3), seed=33)
+    night = SimulationRunner(make_dataset(4), seed=44)
+
+    print("\nOffline algorithm rankings (camera 1):")
+    for label, runner in (("day", day), ("night", night)):
+        item = runner.library.get(f"T-{runner.dataset.camera_ids[0]}")
+        ranked = [
+            f"{p.algorithm}({p.f_score:.2f})" for p in item.ranked()
+        ]
+        print(f"  {label:5s}: {' > '.join(ranked)}")
+
+    print("\nNight deployments under two budgets:")
+    rows = []
+    for budget in (6.0, 2.0):
+        result = night.run(mode="full", budget=budget)
+        algorithms = sorted(
+            {a for d in result.decisions for a in d.assignment.values()}
+        )
+        rows.append([
+            budget,
+            result.humans_detected,
+            result.humans_present,
+            result.energy_joules,
+            "/".join(algorithms),
+            f"{result.max_latency_per_frame():.1f}s",
+        ])
+    print(format_table(
+        ["budget (J/frame)", "detected", "present", "energy (J)",
+         "algorithms", "latency/frame"],
+        rows,
+    ))
+    print(
+        "\nWith 6 J/frame the controller buys LSVM's night robustness; "
+        "at 2 J/frame it degrades gracefully to the best daylight "
+        "algorithms it can afford.  Note the latency column: LSVM "
+        "overruns the 2 s processing cadence, so night vision also "
+        "costs frame rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

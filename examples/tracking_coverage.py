@@ -1,0 +1,84 @@
+"""Track-level coverage: recovering misses across frames.
+
+Section VII of the paper argues that EECS can tolerate per-frame
+misses because "objects that are not detected in some frames are
+likely to be detected at other frames".  This example quantifies that:
+it runs an energy-saving EECS deployment, feeds the fused detections
+into a ground-plane Kalman tracker, and compares frame-level detection
+rate against track-level coverage (the fraction of people covered by
+a confirmed track at each frame).
+
+Run:  python examples/tracking_coverage.py
+"""
+
+import numpy as np
+
+from repro.core import SimulationRunner
+from repro.datasets import make_dataset
+from repro.datasets.groundtruth import persons_in_any_view
+from repro.experiments.tables import format_table
+from repro.tracking import GroundPlaneTracker
+
+
+def main() -> None:
+    print("Offline training on dataset #1 ...")
+    dataset = make_dataset(1)
+    runner = SimulationRunner(dataset, seed=2017)
+
+    # Deploy the cheap configuration: 2 cameras on ACF -- lots of
+    # per-frame misses, ideal to show what tracking recovers.
+    cams = dataset.camera_ids
+    assignment = {cams[0]: "ACF", cams[1]: "ACF"}
+    records = dataset.frames(1000, 3000, only_ground_truth=True)
+
+    tracker = GroundPlaneTracker(
+        dt=1.0, gate=4.0, confirm_hits=2, max_misses=3
+    )
+    rng = np.random.default_rng(3)
+
+    frame_hits = 0
+    track_hits = 0
+    present_total = 0
+    for record in records:
+        detections = []
+        for camera_id, algorithm in assignment.items():
+            item = runner.library.get(f"T-{camera_id}")
+            threshold = item.profile(algorithm).threshold
+            obs = record.observation(camera_id)
+            dets = runner.detectors[algorithm].detect(
+                obs, rng, threshold=threshold
+            )
+            runner.controller.calibrate_probabilities(camera_id, dets)
+            detections.extend(dets)
+        groups = runner.matcher.group(detections)
+        tracker.step(groups)
+
+        present = persons_in_any_view(record.observations)
+        detected_now = {
+            g.majority_truth_id for g in groups if g.is_true_object
+        }
+        covered = tracker.tracked_truth_ids()
+        frame_hits += len(detected_now & present)
+        track_hits += len(covered & present)
+        present_total += len(present)
+
+    print()
+    print(format_table(
+        ["metric", "covered", "of", "rate"],
+        [
+            ["frame-level detections", frame_hits, present_total,
+             f"{frame_hits / present_total:.0%}"],
+            ["track-level coverage", track_hits, present_total,
+             f"{track_hits / present_total:.0%}"],
+        ],
+    ))
+    print(
+        "\nTracks bridge the frames in which the cheap detector missed "
+        "a person, recovering coverage without any extra detection "
+        "energy -- the Section VII argument, quantified."
+    )
+    print(f"tracks spawned over the run: {len(tracker.all_tracks_ever)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro: a reproduction of "Energy Efficient Object Detection in
+Camera Sensor Networks" (EECS, ICDCS 2017).
+
+The package implements the paper's coordination framework — GFK
+domain-adaptation algorithm ranking, greedy camera-subset selection,
+energy-aware algorithm downgrade, cross-camera re-identification and
+Eq.-6 probability fusion — together with every substrate it needs:
+a synthetic multi-camera pedestrian world, calibrated detector
+simulations, from-scratch vision features (HOG / keypoints / BoW),
+multi-view geometry, energy models fitted to the paper's smartphone
+measurements, and a discrete-event sensor network.
+
+Quickstart::
+
+    from repro.datasets import make_dataset
+    from repro.core import SimulationRunner
+
+    runner = SimulationRunner(make_dataset(1))
+    result = runner.run(mode="full", budget=2.0)
+    print(result.humans_detected, result.energy_joules)
+"""
+
+from repro.core.config import EECSConfig
+from repro.core.controller import EECSController, SelectionDecision
+from repro.core.runner import RunResult, SimulationRunner
+from repro.datasets.synthetic import SyntheticDataset, make_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EECSConfig",
+    "EECSController",
+    "SelectionDecision",
+    "RunResult",
+    "SimulationRunner",
+    "SyntheticDataset",
+    "make_dataset",
+    "__version__",
+]

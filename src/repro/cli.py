@@ -1,0 +1,223 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro table2            # Tables II/III/IV
+    python -m repro table5 --frames 16 --repeats 2
+    python -m repro fig3|fig4|fig5a|fig5b|fig6
+    python -m repro run --dataset 1 --mode full --budget 2.0
+    python -m repro train --dataset 1 --save library.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments.table2_3_4 import algorithm_table, render_table
+
+    mapping = {"table2": (1, "train"), "table3": (2, "train"),
+               "table4": (1, "test")}
+    number, segment = mapping[args.command]
+    rows = algorithm_table(number, camera_index=args.camera, segment=segment)
+    print(render_table(
+        rows,
+        title=f"{args.command.upper()} (dataset #{number}, "
+              f"cam {args.camera + 1}, {segment})",
+    ))
+    return 0
+
+
+def _cmd_table5(args: argparse.Namespace) -> int:
+    from repro.experiments.table5 import similarity_matrix
+    from repro.experiments.tables import format_table
+
+    result = similarity_matrix(
+        window_frames=args.frames,
+        repeats=args.repeats,
+        subspace_dim=args.subspace_dim,
+    )
+    headers = ["train\\test"] + result.labels
+    rows = [
+        [f"T_{label}"] + [f"{v:.2f}" for v in result.matrix[i]]
+        for i, label in enumerate(result.labels)
+    ]
+    print(format_table(headers, rows))
+    print(f"diagonal accuracy: {result.diagonal_accuracy:.2f}")
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.experiments.fig3 import adaptive_vs_fixed
+    from repro.experiments.tables import format_table
+
+    results = adaptive_vs_fixed()
+    print(format_table(
+        ["strategy", "recall", "precision", "f_score", "choices"],
+        [[r.strategy, r.recall, r.precision, r.f_score, str(r.per_dataset)]
+         for r in results],
+    ))
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.experiments.fig4 import tradeoff_curve
+    from repro.experiments.tables import format_table
+
+    points = tradeoff_curve(dataset_number=1)
+    print(format_table(
+        ["config", "detected", "present", "recall", "energy (J)"],
+        [[p.label, p.humans_detected, p.humans_present, p.recall,
+          p.energy_joules] for p in points],
+    ))
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.experiments.fig5 import (
+        HIGH_BUDGET,
+        LOW_BUDGET,
+        run_modes,
+    )
+    from repro.experiments.fig6 import DEFAULT_BUDGET
+    from repro.experiments.tables import format_table
+
+    if args.command == "fig5a":
+        dataset, budget = 1, HIGH_BUDGET
+    elif args.command == "fig5b":
+        dataset, budget = 1, LOW_BUDGET
+    else:
+        dataset, budget = 2, DEFAULT_BUDGET
+    results = run_modes(dataset_number=dataset, budget=budget)
+    print(format_table(
+        ["mode", "detected", "present", "energy (J)", "cameras/round"],
+        [[r.mode, r.humans_detected, r.humans_present, r.energy_joules,
+          str(r.cameras_per_round)] for r in results.values()],
+    ))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.runner import SimulationRunner
+    from repro.datasets.synthetic import make_dataset
+
+    runner = SimulationRunner(make_dataset(args.dataset), seed=args.seed)
+    result = runner.run(mode=args.mode, budget=args.budget)
+    print(f"mode:            {result.mode}")
+    print(f"humans detected: {result.humans_detected}/{result.humans_present}")
+    print(f"energy:          {result.energy_joules:.1f} J "
+          f"(processing {result.processing_joules:.1f}, "
+          f"communication {result.communication_joules:.2f})")
+    if result.decisions:
+        cameras = [d.num_active for d in result.decisions]
+        print(f"cameras/round:   {cameras}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core.runner import build_training_library
+    from repro.datasets.synthetic import make_dataset
+    from repro.detection.detectors import make_detector_suite
+    from repro.persistence import save_library
+
+    dataset = make_dataset(args.dataset)
+    detectors = make_detector_suite(dataset.environment)
+    library = build_training_library(
+        dataset, detectors, np.random.default_rng(args.seed)
+    )
+    save_library(library, args.save)
+    print(f"trained {len(library)} items; saved to {args.save}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import ALL_SECTIONS, generate_report
+
+    sections = (
+        tuple(args.sections) if args.sections else ALL_SECTIONS
+    )
+    report = generate_report(sections=sections, scale=args.scale)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(report)
+        print(f"wrote report to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EECS reproduction: regenerate the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table2", "table3", "table4"):
+        p = sub.add_parser(name, help=f"regenerate {name.upper()}")
+        p.add_argument("--camera", type=int, default=0)
+        p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser("table5", help="regenerate the similarity matrix")
+    p.add_argument("--frames", type=int, default=16)
+    p.add_argument("--repeats", type=int, default=2)
+    p.add_argument("--subspace-dim", type=int, default=8)
+    p.set_defaults(func=_cmd_table5)
+
+    sub.add_parser("fig3", help="adaptive vs fixed").set_defaults(
+        func=_cmd_fig3
+    )
+    sub.add_parser("fig4", help="accuracy/energy trade-off").set_defaults(
+        func=_cmd_fig4
+    )
+    for name in ("fig5a", "fig5b", "fig6"):
+        sub.add_parser(name, help="EECS vs all-best").set_defaults(
+            func=_cmd_fig5
+        )
+
+    p = sub.add_parser("run", help="one deployment run")
+    p.add_argument("--dataset", type=int, default=1, choices=(1, 2, 3, 4))
+    p.add_argument(
+        "--mode",
+        default="full",
+        choices=("all_best", "subset", "full"),
+    )
+    p.add_argument("--budget", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=2017)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("train", help="offline training -> JSON library")
+    p.add_argument("--dataset", type=int, default=1, choices=(1, 2, 3, 4))
+    p.add_argument("--save", required=True)
+    p.add_argument("--seed", type=int, default=2017)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser(
+        "report", help="regenerate all experiments as one Markdown report"
+    )
+    p.add_argument("--output", default=None, help="write to a file")
+    p.add_argument(
+        "--sections",
+        nargs="+",
+        default=None,
+        help="subset of sections, e.g. table2 fig5a",
+    )
+    p.add_argument("--scale", choices=("small", "full"), default="small")
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,176 @@
+"""Offline training at the central controller (Section IV-A).
+
+For every (detection algorithm, training video) pair — ``H x N``
+combinations — the controller runs the algorithm over the training
+frames, sweeps the detection-score threshold to find the
+f_score-maximising cut-off ``d_t``, records precision/recall/f_score
+at that point along with the measured per-frame energy and latency,
+and fits a score-to-probability calibrator from the labelled scores.
+The result is a :class:`TrainingLibrary`: per training item, a ranked
+list of :class:`AlgorithmProfile` records plus the item's feature
+stack for GFK matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.detection.base import BoundingBox, Detection, Detector
+from repro.detection.metrics import best_threshold
+from repro.detection.scores import ScoreCalibrator
+from repro.energy.model import ProcessingEnergyModel
+
+
+@dataclass
+class AlgorithmProfile:
+    """Measured performance of one algorithm on one training item.
+
+    Attributes:
+        algorithm: Detector name.
+        training_item: Name of the training video it was measured on.
+        threshold: f_score-maximising detection-score cut-off ``d_t``.
+        precision: Precision at ``threshold``.
+        recall: Recall at ``threshold``.
+        f_score: f_score at ``threshold``.
+        energy_per_frame: Joules per processed frame (processing only;
+            communication is algorithm-independent).
+        time_per_frame: Seconds per processed frame.
+        calibrator: Score-to-probability mapping fitted on the
+            training detections.
+    """
+
+    algorithm: str
+    training_item: str
+    threshold: float
+    precision: float
+    recall: float
+    f_score: float
+    energy_per_frame: float
+    time_per_frame: float
+    calibrator: ScoreCalibrator = field(default_factory=ScoreCalibrator)
+
+    @property
+    def efficiency(self) -> float:
+        """The paper's downgrade figure of merit: f_score per Joule."""
+        if self.energy_per_frame <= 0:
+            return float("inf")
+        return self.f_score / self.energy_per_frame
+
+
+def profile_algorithm(
+    detector: Detector,
+    frames: list[tuple[list[Detection], list[BoundingBox]]],
+    training_item: str,
+    energy_model: ProcessingEnergyModel,
+    num_steps: int = 60,
+) -> AlgorithmProfile:
+    """Build the profile of one algorithm from its scored detections.
+
+    Args:
+        detector: The profiled detector (its name and energy cost are
+            recorded).
+        frames: Per-frame (all scored detections, ground-truth boxes)
+            pairs from the training segment.
+        training_item: Name of the training video.
+        energy_model: Resolution-bound cost model for this camera.
+        num_steps: Threshold sweep granularity.
+    """
+    threshold, counts = best_threshold(frames, num_steps=num_steps)
+    calibrator = ScoreCalibrator()
+    scores = np.array(
+        [d.score for dets, _ in frames for d in dets]
+    )
+    labels = np.array(
+        [1.0 if d.is_true_positive else 0.0 for dets, _ in frames for d in dets]
+    )
+    if len(scores) >= 2:
+        calibrator.fit(scores, labels)
+    return AlgorithmProfile(
+        algorithm=detector.name,
+        training_item=training_item,
+        threshold=float(threshold),
+        precision=counts.precision,
+        recall=counts.recall,
+        f_score=counts.f_score,
+        energy_per_frame=energy_model.energy_per_frame(detector.name),
+        time_per_frame=energy_model.time_per_frame(detector.name),
+        calibrator=calibrator,
+    )
+
+
+@dataclass
+class TrainingItem:
+    """One training video's offline-training output.
+
+    Attributes:
+        name: Training item identifier, e.g. ``"T_1.1"``.
+        profiles: Per-algorithm measured profiles.
+        features: ``(k, alpha)`` frame-feature stack for GFK matching
+            (may be empty when similarity matching is not needed).
+    """
+
+    name: str
+    profiles: dict[str, AlgorithmProfile]
+    features: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, 0))
+    )
+
+    def __post_init__(self) -> None:
+        if not self.profiles:
+            raise ValueError(f"training item {self.name!r} has no profiles")
+        for algorithm, profile in self.profiles.items():
+            if profile.algorithm != algorithm:
+                raise ValueError(
+                    f"profile key {algorithm!r} does not match "
+                    f"profile.algorithm {profile.algorithm!r}"
+                )
+
+    @property
+    def algorithms(self) -> list[str]:
+        return list(self.profiles)
+
+    def ranked(self) -> list[AlgorithmProfile]:
+        """Profiles sorted by decreasing f_score."""
+        return sorted(self.profiles.values(), key=lambda p: -p.f_score)
+
+    def profile(self, algorithm: str) -> AlgorithmProfile:
+        try:
+            return self.profiles[algorithm]
+        except KeyError:
+            raise KeyError(
+                f"training item {self.name!r} has no profile for "
+                f"{algorithm!r}; available: {sorted(self.profiles)}"
+            ) from None
+
+
+class TrainingLibrary:
+    """All training items known to the controller."""
+
+    def __init__(self) -> None:
+        self._items: dict[str, TrainingItem] = {}
+
+    def add(self, item: TrainingItem) -> None:
+        if item.name in self._items:
+            raise ValueError(f"training item {item.name!r} already registered")
+        self._items[item.name] = item
+
+    def get(self, name: str) -> TrainingItem:
+        try:
+            return self._items[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown training item {name!r}; "
+                f"available: {sorted(self._items)}"
+            ) from None
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._items

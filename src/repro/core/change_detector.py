@@ -1,0 +1,155 @@
+"""Camera-side environmental change detection.
+
+Section IV-B.1: "when surrounding environmental changes are detected,
+each sensor extracts and uploads features ... Note that, detection of
+environmental changes is not in the scope of this paper."  This module
+supplies that missing trigger: a two-sided CUSUM detector over cheap
+per-frame scene statistics (mean intensity and edge energy), so a
+camera knows *when* to spend the ~16 KB/frame feature upload and the
+controller's GFK matching.
+
+CUSUM accumulates deviations of a statistic from its calibrated
+baseline; an alarm fires when the accumulation exceeds a threshold,
+which tolerates noise but reacts quickly to sustained shifts (e.g.
+lights turning off, the camera being moved to a different room).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SceneStatistics:
+    """Cheap per-frame statistics a sensor can afford every frame."""
+
+    mean_intensity: float
+    edge_energy: float
+
+    @classmethod
+    def from_frame(cls, image: np.ndarray) -> "SceneStatistics":
+        image = np.asarray(image, dtype=float)
+        if image.ndim != 2 or image.size == 0:
+            raise ValueError("expected a non-empty 2-D image")
+        gy, gx = np.gradient(image)
+        return cls(
+            mean_intensity=float(image.mean()),
+            edge_energy=float(np.mean(np.hypot(gx, gy))),
+        )
+
+    def as_vector(self) -> np.ndarray:
+        return np.array([self.mean_intensity, self.edge_energy])
+
+
+class CusumDetector:
+    """Two-sided CUSUM over one scalar statistic."""
+
+    def __init__(
+        self,
+        baseline_mean: float,
+        baseline_std: float,
+        drift: float = 0.5,
+        threshold: float = 8.0,
+    ) -> None:
+        """
+        Args:
+            baseline_mean: Calibrated in-control mean of the statistic.
+            baseline_std: Calibrated in-control standard deviation.
+            drift: Slack ``k`` in std units; deviations smaller than
+                this are absorbed.
+            threshold: Alarm level ``h`` in std units.
+        """
+        if baseline_std <= 0:
+            raise ValueError("baseline_std must be positive")
+        if drift < 0 or threshold <= 0:
+            raise ValueError("drift must be >= 0 and threshold > 0")
+        self.mean = baseline_mean
+        self.std = baseline_std
+        self.drift = drift
+        self.threshold = threshold
+        self.upper = 0.0
+        self.lower = 0.0
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; returns True when an alarm fires.
+
+        The accumulators reset after an alarm so subsequent changes
+        can be detected again.
+        """
+        z = (value - self.mean) / self.std
+        self.upper = max(0.0, self.upper + z - self.drift)
+        self.lower = max(0.0, self.lower - z - self.drift)
+        if self.upper > self.threshold or self.lower > self.threshold:
+            self.upper = 0.0
+            self.lower = 0.0
+            return True
+        return False
+
+    @property
+    def statistic(self) -> float:
+        """Current max accumulation, in std units."""
+        return max(self.upper, self.lower)
+
+
+@dataclass
+class EnvironmentChangeDetector:
+    """Multi-statistic change detector for one camera.
+
+    Calibrate on a window of in-control frames, then feed every frame;
+    an alarm on *any* statistic signals an environment change and
+    should trigger a feature re-upload (Section IV-B.1).
+    """
+
+    drift: float = 0.5
+    threshold: float = 8.0
+    min_calibration_frames: int = 10
+    _calibration: list[np.ndarray] = field(default_factory=list)
+    _detectors: list[CusumDetector] | None = None
+    alarms: int = 0
+
+    @property
+    def is_calibrated(self) -> bool:
+        return self._detectors is not None
+
+    def calibrate(self, image: np.ndarray) -> bool:
+        """Feed a calibration frame; returns True once calibrated."""
+        if self.is_calibrated:
+            raise RuntimeError("detector is already calibrated")
+        self._calibration.append(
+            SceneStatistics.from_frame(image).as_vector()
+        )
+        if len(self._calibration) >= self.min_calibration_frames:
+            stacked = np.stack(self._calibration)
+            means = stacked.mean(axis=0)
+            # Inflate the estimate: with few calibration frames the
+            # sample std can undershoot badly, turning in-control noise
+            # into false alarms.
+            stds = 1.5 * np.maximum(stacked.std(axis=0), 1e-4)
+            self._detectors = [
+                CusumDetector(
+                    baseline_mean=float(m),
+                    baseline_std=float(s),
+                    drift=self.drift,
+                    threshold=self.threshold,
+                )
+                for m, s in zip(means, stds)
+            ]
+            return True
+        return False
+
+    def observe(self, image: np.ndarray) -> bool:
+        """Feed an operational frame; True when a change is detected."""
+        if not self.is_calibrated:
+            raise RuntimeError(
+                "calibrate() must complete before observe()"
+            )
+        values = SceneStatistics.from_frame(image).as_vector()
+        fired = False
+        for detector, value in zip(self._detectors, values):
+            if detector.update(float(value)):
+                fired = True
+        if fired:
+            self.alarms += 1
+        return fired

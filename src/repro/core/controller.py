@@ -1,0 +1,279 @@
+"""The EECS central controller (Section IV).
+
+The controller runs on a server without energy constraints.  It holds
+the training library and the GFK video comparator, tracks each
+registered camera's budget and matched training item, converts raw
+detection scores to probabilities with the matched item's calibrators,
+and — given an assessment period's metadata — produces a
+:class:`SelectionDecision`: which cameras to activate and which
+algorithm each should run until the next re-calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.accuracy import DesiredAccuracy, GlobalAccuracy
+from repro.core.calibration import TrainingLibrary
+from repro.core.config import EECSConfig
+from repro.core.ranking import best_affordable
+from repro.core.selection import AssessmentData, CameraPlan, SelectionEngine
+from repro.detection.base import Detection
+from repro.domain_adaptation.similarity import VideoComparator
+from repro.energy.battery import Battery
+from repro.energy.communication import CommunicationEnergyModel
+from repro.energy.model import ProcessingEnergyModel
+from repro.reid.matcher import CrossCameraMatcher
+
+
+@dataclass
+class CameraState:
+    """Controller-side record of one registered camera sensor."""
+
+    camera_id: str
+    processing_model: ProcessingEnergyModel
+    communication_model: CommunicationEnergyModel
+    battery: Battery
+    matched_item: str | None = None
+    match_similarity: float = float("nan")
+
+
+@dataclass
+class SelectionDecision:
+    """Outcome of one assessment: the plan until re-calibration.
+
+    Attributes:
+        assignment: camera id -> algorithm for the active cameras.
+        baseline: All-best accuracy ``(N*, P*)`` on the assessment.
+        desired: The derived requirement ``[D_n, D_p]``.
+        achieved: Predicted accuracy of the final assignment.
+        ranked_camera_ids: The accuracy ranking ``S_o`` used.
+    """
+
+    assignment: dict[str, str]
+    baseline: GlobalAccuracy
+    desired: DesiredAccuracy
+    achieved: GlobalAccuracy
+    ranked_camera_ids: list[str] = field(default_factory=list)
+
+    @property
+    def active_cameras(self) -> list[str]:
+        return list(self.assignment)
+
+    @property
+    def num_active(self) -> int:
+        return len(self.assignment)
+
+
+class EECSController:
+    """Central coordinator for a camera sensor network."""
+
+    def __init__(
+        self,
+        config: EECSConfig,
+        library: TrainingLibrary,
+        matcher: CrossCameraMatcher,
+        comparator: VideoComparator | None = None,
+    ) -> None:
+        self.config = config
+        self.library = library
+        self.matcher = matcher
+        self.comparator = comparator
+        self.engine = SelectionEngine(matcher)
+        self._cameras: dict[str, CameraState] = {}
+
+    # ------------------------------------------------------------------
+    # Camera registration and feature matching
+    # ------------------------------------------------------------------
+    def register_camera(
+        self,
+        camera_id: str,
+        processing_model: ProcessingEnergyModel,
+        communication_model: CommunicationEnergyModel,
+        battery: Battery,
+    ) -> CameraState:
+        if camera_id in self._cameras:
+            raise ValueError(f"camera {camera_id!r} already registered")
+        state = CameraState(
+            camera_id=camera_id,
+            processing_model=processing_model,
+            communication_model=communication_model,
+            battery=battery,
+        )
+        self._cameras[camera_id] = state
+        return state
+
+    @property
+    def camera_ids(self) -> list[str]:
+        return list(self._cameras)
+
+    def camera(self, camera_id: str) -> CameraState:
+        try:
+            return self._cameras[camera_id]
+        except KeyError:
+            raise KeyError(
+                f"camera {camera_id!r} not registered; "
+                f"known: {sorted(self._cameras)}"
+            ) from None
+
+    def receive_features(
+        self, camera_id: str, features: np.ndarray
+    ) -> tuple[str, float]:
+        """Match uploaded frame features to the closest training item
+        (Section IV-B.2).  Requires a configured comparator."""
+        if self.comparator is None:
+            raise RuntimeError(
+                "controller has no video comparator; use "
+                "assign_training_item() for direct assignment"
+            )
+        state = self.camera(camera_id)
+        name, similarity = self.comparator.best_match(features)
+        state.matched_item = name
+        state.match_similarity = similarity
+        return name, similarity
+
+    def assign_training_item(self, camera_id: str, item_name: str) -> None:
+        """Directly bind a camera to a training item (bypasses GFK)."""
+        if item_name not in self.library:
+            raise KeyError(f"unknown training item {item_name!r}")
+        self.camera(camera_id).matched_item = item_name
+
+    # ------------------------------------------------------------------
+    # Budgets and per-camera algorithm choice
+    # ------------------------------------------------------------------
+    def frame_budget(self, camera_id: str) -> float:
+        """Per-frame energy budget ``B_j`` from the residual battery."""
+        state = self.camera(camera_id)
+        return state.battery.budget_for(
+            self.config.operation_time_s, self.config.seconds_per_frame
+        )
+
+    def camera_plan(
+        self, camera_id: str, budget_override: float | None = None
+    ) -> CameraPlan | None:
+        """The selector input for one camera; ``None`` when the camera
+        has no matched item or no affordable algorithm."""
+        state = self.camera(camera_id)
+        if state.matched_item is None:
+            return None
+        item = self.library.get(state.matched_item)
+        budget = (
+            budget_override
+            if budget_override is not None
+            else self.frame_budget(camera_id)
+        )
+        comm = state.communication_model.per_frame_cost()
+        best = best_affordable(item, budget, comm)
+        if best is None:
+            return None
+        return CameraPlan(
+            camera_id=camera_id,
+            item=item,
+            best_algorithm=best.algorithm,
+            budget=budget,
+            communication_cost=comm,
+        )
+
+    def calibrate_probabilities(
+        self, camera_id: str, detections: list[Detection]
+    ) -> list[Detection]:
+        """Fill each detection's probability from the matched item's
+        per-algorithm score calibrator (footnote 5 of the paper)."""
+        state = self.camera(camera_id)
+        if state.matched_item is None:
+            raise RuntimeError(
+                f"camera {camera_id!r} has no matched training item"
+            )
+        item = self.library.get(state.matched_item)
+        for det in detections:
+            calibrator = item.profile(det.algorithm).calibrator
+            if calibrator.is_fitted:
+                det.probability = calibrator(det.score)
+        return detections
+
+    # ------------------------------------------------------------------
+    # Selection (Sections IV-B.3 and IV-B.4)
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        assessment: AssessmentData,
+        enable_subset: bool = True,
+        enable_downgrade: bool = True,
+        budget_overrides: dict[str, float] | None = None,
+    ) -> SelectionDecision:
+        """Run the full selection pipeline on assessment metadata.
+
+        Args:
+            assessment: Metadata from the just-finished assessment
+                period (all cameras x all affordable algorithms).
+            enable_subset: Disable to keep every camera active (the
+                paper's all-best baseline).
+            enable_downgrade: Disable to stop after subset selection
+                (the middle bars of Fig. 5).
+            budget_overrides: Optional per-camera budget values
+                (the paper's Figs. 5a/5b sweep these).
+        """
+        overrides = budget_overrides or {}
+        plans = []
+        for camera_id in self.camera_ids:
+            plan = self.camera_plan(camera_id, overrides.get(camera_id))
+            if plan is None:
+                continue
+            # Restrict the best-algorithm choice to algorithms that
+            # actually have assessment metadata for this camera; a
+            # profile without data cannot be evaluated or deployed.
+            available = set(assessment.algorithms_for(camera_id))
+            if plan.best_algorithm not in available:
+                candidates = [
+                    p
+                    for p in plan.item.profiles.values()
+                    if p.algorithm in available
+                    and p.energy_per_frame + plan.communication_cost
+                    <= plan.budget
+                ]
+                if not candidates:
+                    continue
+                plan = CameraPlan(
+                    camera_id=plan.camera_id,
+                    item=plan.item,
+                    best_algorithm=max(
+                        candidates, key=lambda p: p.f_score
+                    ).algorithm,
+                    budget=plan.budget,
+                    communication_cost=plan.communication_cost,
+                )
+            plans.append(plan)
+        if not plans:
+            raise RuntimeError(
+                "no camera has an affordable algorithm within budget"
+            )
+
+        all_best = {p.camera_id: p.best_algorithm for p in plans}
+        baseline = self.engine.global_accuracy(assessment, all_best)
+        desired = DesiredAccuracy.from_baseline(
+            baseline, self.config.gamma_n, self.config.gamma_p
+        )
+        ranked = self.engine.rank_cameras(assessment, plans)
+
+        if enable_subset:
+            chosen, achieved = self.engine.greedy_subset(
+                assessment, ranked, desired
+            )
+        else:
+            chosen, achieved = ranked, baseline
+
+        if enable_downgrade:
+            assignment = self.engine.downgrade(assessment, chosen, desired)
+            achieved = self.engine.global_accuracy(assessment, assignment)
+        else:
+            assignment = {p.camera_id: p.best_algorithm for p in chosen}
+
+        return SelectionDecision(
+            assignment=assignment,
+            baseline=baseline,
+            desired=desired,
+            achieved=achieved,
+            ranked_camera_ids=[p.camera_id for p in ranked],
+        )

@@ -1,0 +1,56 @@
+"""Ground-truth extraction helpers.
+
+The datasets annotate 3-D person locations; converted through each
+camera's homography they become per-view 2-D boxes.  Our synthetic
+world short-circuits that conversion — the renderer's object views
+*are* the projected annotations — but the evaluation semantics are
+the paper's: a person counts as present in a view when their
+projection falls in the image, and as present in the scene when any
+camera sees them.
+"""
+
+from __future__ import annotations
+
+from repro.detection.base import BoundingBox
+from repro.world.renderer import FrameObservation
+
+#: A person occluded beyond this fraction in a view is not expected to
+#: be detectable there; they still count as present if another camera
+#: sees them better.
+VISIBILITY_OCCLUSION_CUTOFF = 0.95
+
+
+def ground_truth_boxes(
+    observation: FrameObservation,
+    include_occluded: bool = True,
+) -> list[BoundingBox]:
+    """Annotation boxes for one camera's frame."""
+    boxes = []
+    for view in observation.objects:
+        if not include_occluded and view.occlusion >= VISIBILITY_OCCLUSION_CUTOFF:
+            continue
+        boxes.append(BoundingBox.from_tuple(view.bbox))
+    return boxes
+
+
+def persons_in_view(
+    observation: FrameObservation,
+    occlusion_cutoff: float = VISIBILITY_OCCLUSION_CUTOFF,
+) -> set[int]:
+    """Ids of persons detectably present in one view."""
+    return {
+        view.person_id
+        for view in observation.objects
+        if view.occlusion < occlusion_cutoff
+    }
+
+
+def persons_in_any_view(
+    observations: dict[str, FrameObservation],
+    occlusion_cutoff: float = VISIBILITY_OCCLUSION_CUTOFF,
+) -> set[int]:
+    """Ids of persons present in the scene (visible to >= 1 camera)."""
+    present: set[int] = set()
+    for observation in observations.values():
+        present |= persons_in_view(observation, occlusion_cutoff)
+    return present

@@ -1,0 +1,65 @@
+"""Detection substrate.
+
+The paper runs four pedestrian detectors (HOG, ACF, C4, LSVM) on
+smartphone camera sensors.  Here each detector is a calibrated
+simulation: it scores every visible pedestrian (and clutter-driven
+false-positive candidates) through an algorithm-specific response
+model — sensitivity to occlusion, pixel size and contrast differs per
+algorithm — with score distributions fitted so that a genuine
+threshold sweep reproduces the per-(algorithm, dataset) operating
+points of Tables II-IV.  EECS itself treats detectors as black boxes
+emitting scored bounding boxes, so the framework code is unchanged
+from what would run on real detectors.
+"""
+
+from repro.detection.base import BoundingBox, Detection, Detector
+from repro.detection.detectors import (
+    ALGORITHM_NAMES,
+    SimulatedDetector,
+    make_detector,
+    make_detector_suite,
+)
+from repro.detection.metrics import (
+    DetectionCounts,
+    best_threshold,
+    f_score,
+    match_detections,
+    precision_recall,
+    sweep_thresholds,
+)
+from repro.detection.profiles import ResponseProfile, get_profile
+from repro.detection.scores import ScoreCalibrator
+from repro.detection.boosting import AdaBoostStumps, DecisionStump
+from repro.detection.channel_detector import ChannelFeatureDetector
+from repro.detection.contour_detector import ContourDetector
+from repro.detection.parts_detector import PartBasedDetector
+from repro.detection.window_detector import (
+    LinearHogTemplate,
+    SlidingWindowHogDetector,
+)
+
+__all__ = [
+    "BoundingBox",
+    "Detection",
+    "Detector",
+    "ALGORITHM_NAMES",
+    "SimulatedDetector",
+    "make_detector",
+    "make_detector_suite",
+    "DetectionCounts",
+    "best_threshold",
+    "f_score",
+    "match_detections",
+    "precision_recall",
+    "sweep_thresholds",
+    "ResponseProfile",
+    "get_profile",
+    "ScoreCalibrator",
+    "LinearHogTemplate",
+    "SlidingWindowHogDetector",
+    "AdaBoostStumps",
+    "DecisionStump",
+    "ChannelFeatureDetector",
+    "ContourDetector",
+    "PartBasedDetector",
+]

@@ -1,0 +1,127 @@
+"""Core detection types: bounding boxes, detections, the Detector ABC."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.world.renderer import FrameObservation
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned box ``(x, y, w, h)`` in pixel coordinates."""
+
+    x: float
+    y: float
+    w: float
+    h: float
+
+    def __post_init__(self) -> None:
+        if self.w < 0 or self.h < 0:
+            raise ValueError(f"box dimensions must be non-negative: {self}")
+
+    @property
+    def area(self) -> float:
+        return self.w * self.h
+
+    @property
+    def x2(self) -> float:
+        return self.x + self.w
+
+    @property
+    def y2(self) -> float:
+        return self.y + self.h
+
+    @property
+    def bottom_center(self) -> tuple[float, float]:
+        """Centre of the bottom edge — the paper's ground-contact point
+        used for homography projection between views (Section IV-C)."""
+        return (self.x + self.w / 2.0, self.y + self.h)
+
+    def iou(self, other: "BoundingBox") -> float:
+        """Intersection over union with another box."""
+        ix = max(0.0, min(self.x2, other.x2) - max(self.x, other.x))
+        iy = max(0.0, min(self.y2, other.y2) - max(self.y, other.y))
+        inter = ix * iy
+        union = self.area + other.area - inter
+        if union <= 0:
+            return 0.0
+        return inter / union
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.x, self.y, self.w, self.h)
+
+    @classmethod
+    def from_tuple(
+        cls, values: tuple[float, float, float, float]
+    ) -> "BoundingBox":
+        return cls(*values)
+
+
+@dataclass
+class Detection:
+    """One scored detection emitted by a detector on one frame.
+
+    Attributes:
+        bbox: Detected area.
+        score: Raw detector confidence (algorithm-specific scale).
+        camera_id: Originating camera.
+        frame_index: Frame the detection belongs to.
+        algorithm: Name of the producing algorithm.
+        color_feature: 40-dim appearance feature of the area (the
+            paper's 160-byte per-object metadata payload).
+        probability: Calibrated probability that the area is a true
+            object; filled in by a :class:`ScoreCalibrator`.
+        truth_id: Ground-truth person id for true positives, ``None``
+            for false positives.  Used only by evaluation code — the
+            controller never reads it.
+    """
+
+    bbox: BoundingBox
+    score: float
+    camera_id: str
+    frame_index: int
+    algorithm: str
+    color_feature: np.ndarray = field(
+        default_factory=lambda: np.zeros(40)
+    )
+    probability: float = float("nan")
+    truth_id: int | None = None
+
+    @property
+    def is_true_positive(self) -> bool:
+        """Ground-truth label (evaluation only)."""
+        return self.truth_id is not None
+
+    def metadata_bytes(self) -> int:
+        """Size of the per-object metadata uploaded to the controller:
+        8 B box + 4 B probability + 160 B colour feature (Section V-A)."""
+        return 8 + 4 + 4 * len(self.color_feature)
+
+
+class Detector(abc.ABC):
+    """Abstract detection algorithm running on a camera sensor."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def detect(
+        self,
+        observation: FrameObservation,
+        rng: np.random.Generator,
+        threshold: float | None = None,
+    ) -> list[Detection]:
+        """Detect objects in one frame observation.
+
+        Args:
+            observation: The rendered frame with its object views.
+            rng: Randomness source for score noise.
+            threshold: Optional score cut-off; when ``None`` all scored
+                candidates are returned (callers sweep thresholds).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}(name={self.name!r})"

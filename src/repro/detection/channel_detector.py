@@ -1,0 +1,220 @@
+"""An ACF-style aggregated-channel-features detector.
+
+The second real pixel-level detector (next to the sliding-window HOG
+of :mod:`repro.detection.window_detector`): per-pixel channels —
+intensity, gradient magnitude, and orientation-binned gradient
+magnitude — are sum-pooled into 4x4-pixel cells ("aggregated
+channels"), and a boosted ensemble of decision stumps scores each
+person-shaped window of the cell grid.  This is the architecture that
+makes the paper's ACF an order of magnitude cheaper than HOG: no
+per-window normalisation, and window scoring is a handful of table
+lookups per stump.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.detection.base import BoundingBox, Detection, Detector
+from repro.detection.boosting import AdaBoostStumps
+from repro.detection.window_detector import _box_iou
+from repro.vision.color import mean_color_feature
+from repro.vision.image import crop, image_gradients, resize_bilinear
+from repro.vision.nms import non_max_suppression
+from repro.world.renderer import FrameObservation
+
+#: Pixels per aggregation cell.
+AGG_CELL = 4
+#: Orientation channels (plus magnitude plus intensity).
+NUM_ORIENTATIONS = 6
+NUM_CHANNELS = NUM_ORIENTATIONS + 2
+#: Person window in aggregation cells: 4 wide x 8 tall (16 x 32 px).
+WINDOW_CELLS = (4, 8)
+WINDOW_DIM = WINDOW_CELLS[0] * WINDOW_CELLS[1] * NUM_CHANNELS
+WINDOW_PX = (WINDOW_CELLS[0] * AGG_CELL, WINDOW_CELLS[1] * AGG_CELL)
+
+
+def compute_channels(image: np.ndarray) -> np.ndarray:
+    """Per-pixel channel stack, shape ``(h, w, NUM_CHANNELS)``."""
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValueError(f"expected 2-D image, got shape {image.shape}")
+    gx, gy = image_gradients(image)
+    magnitude = np.hypot(gx, gy)
+    orientation = np.mod(np.arctan2(gy, gx), np.pi)
+    bins = np.minimum(
+        (orientation / np.pi * NUM_ORIENTATIONS).astype(int),
+        NUM_ORIENTATIONS - 1,
+    )
+    channels = np.zeros(image.shape + (NUM_CHANNELS,))
+    channels[..., 0] = image
+    channels[..., 1] = magnitude
+    for b in range(NUM_ORIENTATIONS):
+        channels[..., 2 + b] = np.where(bins == b, magnitude, 0.0)
+    return channels
+
+
+def aggregate_channels(channels: np.ndarray) -> np.ndarray:
+    """Sum-pool channels into ``AGG_CELL`` x ``AGG_CELL`` cells."""
+    h, w, c = channels.shape
+    cells_y, cells_x = h // AGG_CELL, w // AGG_CELL
+    if cells_y == 0 or cells_x == 0:
+        return np.zeros((0, 0, c))
+    trimmed = channels[: cells_y * AGG_CELL, : cells_x * AGG_CELL]
+    return trimmed.reshape(
+        cells_y, AGG_CELL, cells_x, AGG_CELL, c
+    ).sum(axis=(1, 3))
+
+
+def window_descriptor(patch: np.ndarray) -> np.ndarray:
+    """The flat window feature of a patch resized to the canonical
+    16x32 person window."""
+    canon = resize_bilinear(patch, WINDOW_PX[0], WINDOW_PX[1])
+    aggregated = aggregate_channels(compute_channels(canon))
+    return aggregated.reshape(-1)
+
+
+class ChannelFeatureDetector(Detector):
+    """Boosted aggregated-channel-features person detector."""
+
+    name = "ACF-window"
+
+    def __init__(
+        self,
+        classifier: AdaBoostStumps,
+        scales: tuple[float, ...] = (1.3, 1.0, 0.75, 0.55, 0.4),
+        nms_iou: float = 0.4,
+    ) -> None:
+        if not classifier.is_fitted:
+            raise ValueError("classifier must be fitted")
+        self.classifier = classifier
+        self.scales = scales
+        self.nms_iou = nms_iou
+
+    @classmethod
+    def train(
+        cls,
+        observations: list[FrameObservation],
+        rng: np.random.Generator,
+        n_stumps: int = 96,
+        negatives_per_frame: int = 8,
+    ) -> "ChannelFeatureDetector":
+        """Train from rendered frames, like the HOG window detector."""
+        positives = []
+        negatives = []
+        for obs in observations:
+            scale = obs.image_scale
+            h, w = obs.image.shape
+            person_boxes = []
+            for view in obs.objects:
+                if view.occlusion > 0.3:
+                    continue
+                bx, by, bw, bh = view.bbox
+                canvas_box = (bx * scale, by * scale, bw * scale, bh * scale)
+                patch = crop(obs.image, canvas_box)
+                if patch.shape[0] < 10 or patch.shape[1] < 5:
+                    continue
+                positives.append(window_descriptor(patch))
+                person_boxes.append(canvas_box)
+            for _ in range(negatives_per_frame):
+                nh = rng.uniform(0.2, 0.6) * h
+                nw = nh * 0.5
+                nx = rng.uniform(0, max(1.0, w - nw))
+                ny = rng.uniform(0, max(1.0, h - nh))
+                candidate = (nx, ny, nw, nh)
+                if any(
+                    _box_iou(candidate, person) > 0.2
+                    for person in person_boxes
+                ):
+                    continue
+                patch = crop(obs.image, candidate)
+                if patch.size:
+                    negatives.append(window_descriptor(patch))
+        if not positives or not negatives:
+            raise ValueError(
+                "not enough training crops; provide more observations"
+            )
+        features = np.vstack([positives, negatives])
+        labels = np.concatenate([
+            np.ones(len(positives)), -np.ones(len(negatives))
+        ])
+        classifier = AdaBoostStumps(n_stumps=n_stumps).fit(features, labels)
+        return cls(classifier)
+
+    def detect(
+        self,
+        observation: FrameObservation,
+        rng: np.random.Generator,
+        threshold: float | None = None,
+    ) -> list[Detection]:
+        cut = 0.0 if threshold is None else threshold
+        image = observation.image
+        canvas_boxes = []
+        scores = []
+        wx, wy = WINDOW_CELLS
+        for scale in self.scales:
+            scaled = (
+                image
+                if scale == 1.0
+                else resize_bilinear(
+                    image,
+                    max(WINDOW_PX[0], int(image.shape[1] * scale)),
+                    max(WINDOW_PX[1], int(image.shape[0] * scale)),
+                )
+            )
+            grid = aggregate_channels(compute_channels(scaled))
+            if grid.shape[0] < wy or grid.shape[1] < wx:
+                continue
+            view = sliding_window_view(grid, (wy, wx, NUM_CHANNELS))
+            windows = view.reshape(view.shape[0], view.shape[1], WINDOW_DIM)
+            score_map = self.classifier.score_tensor(windows)
+            ys, xs = np.nonzero(score_map >= cut)
+            win_w = WINDOW_PX[0] / scale
+            win_h = WINDOW_PX[1] / scale
+            for y, x in zip(ys, xs):
+                canvas_boxes.append((
+                    x * AGG_CELL / scale,
+                    y * AGG_CELL / scale,
+                    win_w,
+                    win_h,
+                ))
+                scores.append(float(score_map[y, x]))
+        if not canvas_boxes:
+            return []
+        keep = non_max_suppression(
+            np.array(canvas_boxes), np.array(scores), self.nms_iou
+        )
+        detections = []
+        inv_scale = 1.0 / observation.image_scale
+        truth_boxes = [
+            (view.person_id, view.bbox) for view in observation.objects
+        ]
+        for idx in keep:
+            cx, cy, cw, ch = canvas_boxes[idx]
+            nominal = BoundingBox(
+                cx * inv_scale, cy * inv_scale,
+                cw * inv_scale, ch * inv_scale,
+            )
+            truth_id = None
+            best_iou = 0.3
+            for person_id, bbox in truth_boxes:
+                iou = nominal.iou(BoundingBox.from_tuple(bbox))
+                if iou > best_iou:
+                    best_iou = iou
+                    truth_id = person_id
+            detections.append(
+                Detection(
+                    bbox=nominal,
+                    score=scores[idx],
+                    camera_id=observation.camera_id,
+                    frame_index=observation.frame_index,
+                    algorithm=self.name,
+                    color_feature=mean_color_feature(
+                        observation.image, (cx, cy, cw, ch)
+                    ),
+                    truth_id=truth_id,
+                )
+            )
+        detections.sort(key=lambda d: -d.score)
+        return detections

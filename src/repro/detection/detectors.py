@@ -1,0 +1,292 @@
+"""Simulated detection algorithms calibrated to the paper's tables.
+
+A :class:`SimulatedDetector` scores two candidate populations per
+frame:
+
+* every pedestrian view, with a Gaussian score whose mean is the
+  calibrated clean-object response minus algorithm-specific penalties
+  for occlusion, small pixel size and low contrast;
+* false-positive candidates seeded by the scene's clutter regions,
+  with scores drawn from a *bounded exponential tail* — real detectors
+  produce a wall of near-threshold false alarms (furniture edges,
+  texture), which is exactly why the f_score-maximising threshold
+  sits where the paper's Tables II-IV put it: drop the threshold a
+  little and precision collapses.
+
+Calibration solves for the distribution parameters analytically from
+the profile's target (threshold, recall, precision), using view
+statistics measured on the environment (see
+:mod:`repro.detection.view_stats`).  The detector then *runs*:
+thresholds move precision/recall along a genuine trade-off curve,
+occluded or distant people really are missed more often, and cluttered
+scenes really do produce more false alarms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.detection.base import BoundingBox, Detection, Detector
+from repro.detection.profiles import ResponseProfile, get_profile
+from repro.detection.view_stats import (
+    SIZE_REFERENCE_FRACTION,
+    ViewStatistics,
+    nominal_statistics,
+)
+from repro.vision.color import synthetic_color_feature
+from repro.world.environment import Environment
+from repro.world.renderer import FrameObservation, ObjectView
+
+ALGORITHM_NAMES = ("HOG", "ACF", "C4", "LSVM")
+
+#: Precision targets of 1.0 are treated as this value when sizing the
+#: false-positive rate (a literal zero-FP target is degenerate).
+_MAX_PRECISION = 0.99
+
+
+class SimulatedDetector(Detector):
+    """One detection algorithm bound to one environment."""
+
+    def __init__(
+        self,
+        profile: ResponseProfile,
+        environment: Environment,
+        view_statistics: ViewStatistics | None = None,
+    ) -> None:
+        self.name = profile.algorithm
+        self.profile = profile
+        self.environment = environment
+        self._stats = (
+            view_statistics
+            if view_statistics is not None
+            else nominal_statistics(environment)
+        )
+        self._size_ref = SIZE_REFERENCE_FRACTION * environment.height
+        self._sigma = profile.score_sigma
+        self._tp_mu, self._sigma_eff = self._calibrate_tp_mean()
+        # The exponential tail scale of false-positive scores: narrow
+        # relative to the effective score spread, so precision falls
+        # quickly just below the calibrated threshold (the knee real
+        # sliding-window detectors show where texture junk floods in).
+        self._fp_tail = self._sigma_eff / 10.0
+        (
+            self._fp_loc,
+            self._fp_count,
+            self._conf_mu,
+            self._conf_count,
+        ) = self._calibrate_false_positives()
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+    def _penalty_moments(self) -> tuple[float, float]:
+        """Mean and std of the penalty under measured view statistics."""
+        p, s = self.profile, self._stats
+        mean = (
+            p.occlusion_sensitivity * s.occlusion_mean
+            + p.size_sensitivity * s.size_deficit_mean
+            + p.contrast_sensitivity * s.contrast_deficit_mean
+        )
+        var = (
+            (p.occlusion_sensitivity * s.occlusion_std) ** 2
+            + (p.size_sensitivity * s.size_deficit_std) ** 2
+            + (p.contrast_sensitivity * s.contrast_deficit_std) ** 2
+        )
+        return mean, float(np.sqrt(var))
+
+    def _calibrate_tp_mean(self) -> tuple[float, float]:
+        """Place the clean-object response so that
+        ``P(score > threshold) = recall`` over typical views.
+
+        Returns the solved mean and the effective score spread
+        (noise plus penalty variability across views).
+        """
+        p = self.profile
+        mean_penalty, penalty_std = self._penalty_moments()
+        sigma_eff = float(np.hypot(self._sigma, penalty_std))
+        z = stats.norm.ppf(p.recall)
+        return p.threshold + mean_penalty + sigma_eff * z, sigma_eff
+
+    def _calibrate_false_positives(self) -> tuple[float, float, float, float]:
+        """Solve the two-component FP score distribution.
+
+        The per-frame FP count above the calibrated threshold must
+        equal ``TP_rate * (1 - precision) / precision``.  Two candidate
+        populations realise it:
+
+        * a dense *junk wall* (texture windows) with a sharp
+          exponential knee just below the threshold — lowering the
+          threshold floods the output, which is what pins the
+          f_score-maximising threshold from below;
+        * *confusables* (person-like structures, e.g. the "chap"
+          furniture) whose scores spread like the true-positive scores
+          — raising the threshold sheds them no faster than it sheds
+          true positives, which pins the optimum from above.
+        """
+        p = self.profile
+        precision = min(p.precision, _MAX_PRECISION)
+        tp_per_frame = p.recall * self._stats.visible_people_mean
+        target_fp = tp_per_frame * (1.0 - precision) / precision
+
+        # Confusables carry 90% of the at-threshold FP rate; with
+        # count = 3x their surviving number, their survival is 0.3,
+        # placing their mean just below the threshold.
+        conf_target = 0.9 * target_fp
+        conf_count = 3.0 * conf_target
+        conf_mu = p.threshold - 0.5244 * self._sigma_eff  # Phi^-1(0.7)
+
+        wall_target = max(0.1 * target_fp, 1e-4)
+        fp_count = max(40.0 + 6.0 * p.fp_candidates, wall_target * 2.0)
+        survival = float(np.clip(wall_target / fp_count, 1e-7, 0.95))
+        fp_loc = p.threshold + self._fp_tail * np.log(survival)
+        # Near-perfect-precision targets would push the wall far below
+        # the threshold; clamp it so the junk flood always starts
+        # within a fraction of the score spread (this is what keeps
+        # the swept optimum from drifting below the paper's threshold
+        # on the clean "lab" scenes).
+        fp_loc = max(fp_loc, p.threshold - 0.7 * self._sigma_eff)
+        return float(fp_loc), float(fp_count), float(conf_mu), float(conf_count)
+
+    @property
+    def calibration(self) -> dict[str, float]:
+        """Inspection hook: the solved distribution parameters."""
+        return {
+            "tp_mu": self._tp_mu,
+            "fp_loc": self._fp_loc,
+            "fp_count": self._fp_count,
+            "conf_mu": self._conf_mu,
+            "conf_count": self._conf_count,
+            "sigma": self._sigma,
+            "sigma_eff": self._sigma_eff,
+            "fp_tail": self._fp_tail,
+        }
+
+    # ------------------------------------------------------------------
+    # Runtime response model
+    # ------------------------------------------------------------------
+    def _penalty(self, view: ObjectView) -> float:
+        p = self.profile
+        size_deficit = float(
+            np.clip(1.0 - view.pixel_height / self._size_ref, 0.0, 1.0)
+        )
+        return (
+            p.occlusion_sensitivity * view.occlusion
+            + p.size_sensitivity * size_deficit
+            + p.contrast_sensitivity * (1.0 - view.contrast)
+        )
+
+    def score_view(self, view: ObjectView, rng: np.random.Generator) -> float:
+        """Score one pedestrian view (with score noise)."""
+        return float(
+            self._tp_mu - self._penalty(view) + rng.normal(scale=self._sigma)
+        )
+
+    def _jittered_box(
+        self, view: ObjectView, rng: np.random.Generator
+    ) -> BoundingBox:
+        """Localisation noise: a few percent of the box size."""
+        bx, by, bw, bh = view.bbox
+        jitter = 0.04
+        return BoundingBox(
+            x=bx + rng.normal(scale=jitter * max(bw, 1.0)),
+            y=by + rng.normal(scale=jitter * max(bh, 1.0)),
+            w=max(1.0, bw * (1.0 + rng.normal(scale=jitter))),
+            h=max(1.0, bh * (1.0 + rng.normal(scale=jitter))),
+        )
+
+    def _false_positive_box(
+        self,
+        observation: FrameObservation,
+        rng: np.random.Generator,
+    ) -> BoundingBox:
+        """A person-shaped false alarm, preferentially on clutter."""
+        env = self.environment
+        clutter = observation.clutter_regions
+        if clutter and rng.random() < 0.8:
+            cx, cy, cw, ch = clutter[rng.integers(len(clutter))]
+            h = float(np.clip(ch * rng.uniform(0.7, 1.1), 8.0, env.height))
+            w = h * rng.uniform(0.35, 0.5)
+            x = float(np.clip(cx + rng.uniform(-0.2, 0.8) * cw, 0, env.width - w))
+            y = float(np.clip(cy + ch - h, 0, env.height - h))
+        else:
+            h = rng.uniform(0.15, 0.45) * env.height
+            w = h * rng.uniform(0.35, 0.5)
+            x = rng.uniform(0, max(1.0, env.width - w))
+            y = rng.uniform(0.2 * env.height, max(1.0, env.height - h))
+        return BoundingBox(x=float(x), y=float(y), w=float(w), h=float(h))
+
+    def detect(
+        self,
+        observation: FrameObservation,
+        rng: np.random.Generator,
+        threshold: float | None = None,
+    ) -> list[Detection]:
+        """Score all candidates; keep those above ``threshold`` if given."""
+        detections: list[Detection] = []
+        for view in observation.objects:
+            score = self.score_view(view, rng)
+            if threshold is not None and score < threshold:
+                continue
+            detections.append(
+                Detection(
+                    bbox=self._jittered_box(view, rng),
+                    score=score,
+                    camera_id=observation.camera_id,
+                    frame_index=observation.frame_index,
+                    algorithm=self.name,
+                    color_feature=synthetic_color_feature(view.shade, rng),
+                    truth_id=view.person_id,
+                )
+            )
+        background_shade = self.environment.brightness
+        n_wall = rng.poisson(self._fp_count)
+        n_conf = rng.poisson(self._conf_count) if self._conf_count > 0 else 0
+        fp_scores = [
+            float(self._fp_loc + rng.exponential(self._fp_tail))
+            for _ in range(n_wall)
+        ]
+        fp_scores.extend(
+            float(self._conf_mu + rng.normal(scale=self._sigma_eff))
+            for _ in range(n_conf)
+        )
+        for score in fp_scores:
+            if threshold is not None and score < threshold:
+                continue
+            detections.append(
+                Detection(
+                    bbox=self._false_positive_box(observation, rng),
+                    score=score,
+                    camera_id=observation.camera_id,
+                    frame_index=observation.frame_index,
+                    algorithm=self.name,
+                    color_feature=synthetic_color_feature(
+                        background_shade * 0.6, rng, noise=0.08
+                    ),
+                    truth_id=None,
+                )
+            )
+        detections.sort(key=lambda d: -d.score)
+        return detections
+
+
+def make_detector(
+    algorithm: str,
+    environment: Environment,
+    view_statistics: ViewStatistics | None = None,
+) -> SimulatedDetector:
+    """Build the calibrated detector for one algorithm/environment pair."""
+    profile = get_profile(algorithm, environment.family)
+    return SimulatedDetector(profile, environment, view_statistics)
+
+
+def make_detector_suite(
+    environment: Environment,
+    algorithms: tuple[str, ...] = ALGORITHM_NAMES,
+    view_statistics: ViewStatistics | None = None,
+) -> dict[str, SimulatedDetector]:
+    """All pre-installed detectors for one environment, keyed by name."""
+    return {
+        name: make_detector(name, environment, view_statistics)
+        for name in algorithms
+    }

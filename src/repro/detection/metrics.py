@@ -1,0 +1,138 @@
+"""Detection accuracy metrics: precision, recall, f_score, sweeps.
+
+Matches detections to ground-truth boxes greedily by IoU (highest
+score first) and accumulates true/false positives and misses; a
+threshold sweep then finds the f_score-maximising cut-off ``d_t`` the
+paper uses per (algorithm, training video) pair (Section VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.base import BoundingBox, Detection
+
+DEFAULT_IOU_THRESHOLD = 0.4
+
+
+@dataclass
+class DetectionCounts:
+    """Accumulated detection outcomes."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    @property
+    def precision(self) -> float:
+        total = self.tp + self.fp
+        return self.tp / total if total else 0.0
+
+    @property
+    def recall(self) -> float:
+        total = self.tp + self.fn
+        return self.tp / total if total else 0.0
+
+    @property
+    def f_score(self) -> float:
+        return f_score(self.recall, self.precision)
+
+    def add(self, other: "DetectionCounts") -> "DetectionCounts":
+        return DetectionCounts(
+            tp=self.tp + other.tp,
+            fp=self.fp + other.fp,
+            fn=self.fn + other.fn,
+        )
+
+
+def f_score(recall: float, precision: float) -> float:
+    """The harmonic mean the paper balances precision and recall with."""
+    if recall + precision <= 0:
+        return 0.0
+    return 2.0 * recall * precision / (recall + precision)
+
+
+def match_detections(
+    detections: list[Detection],
+    ground_truth: list[BoundingBox],
+    iou_threshold: float = DEFAULT_IOU_THRESHOLD,
+) -> DetectionCounts:
+    """Greedy IoU matching of one frame's detections to its truth boxes.
+
+    Each ground-truth box absorbs at most one detection; detections
+    are considered in decreasing score order.
+    """
+    counts = DetectionCounts()
+    available = list(range(len(ground_truth)))
+    for det in sorted(detections, key=lambda d: -d.score):
+        best_iou = 0.0
+        best_idx = None
+        for idx in available:
+            iou = det.bbox.iou(ground_truth[idx])
+            if iou > best_iou:
+                best_iou = iou
+                best_idx = idx
+        if best_idx is not None and best_iou >= iou_threshold:
+            counts.tp += 1
+            available.remove(best_idx)
+        else:
+            counts.fp += 1
+    counts.fn = len(available)
+    return counts
+
+
+def precision_recall(
+    frames: list[tuple[list[Detection], list[BoundingBox]]],
+    threshold: float,
+    iou_threshold: float = DEFAULT_IOU_THRESHOLD,
+) -> DetectionCounts:
+    """Accumulate counts over frames, applying a score cut-off.
+
+    Args:
+        frames: Pairs of (all scored detections, ground-truth boxes).
+        threshold: Minimum score to keep a detection.
+    """
+    total = DetectionCounts()
+    for detections, truths in frames:
+        kept = [d for d in detections if d.score >= threshold]
+        total = total.add(match_detections(kept, truths, iou_threshold))
+    return total
+
+
+def sweep_thresholds(
+    frames: list[tuple[list[Detection], list[BoundingBox]]],
+    num_steps: int = 40,
+    iou_threshold: float = DEFAULT_IOU_THRESHOLD,
+) -> list[tuple[float, DetectionCounts]]:
+    """Evaluate counts across a range of score thresholds.
+
+    The candidate thresholds span the observed score range; returns
+    (threshold, counts) pairs in ascending threshold order.
+    """
+    scores = np.array(
+        [d.score for detections, _ in frames for d in detections]
+    )
+    if scores.size == 0:
+        return []
+    lo, hi = float(scores.min()), float(scores.max())
+    if hi - lo < 1e-12:
+        thresholds = [lo]
+    else:
+        thresholds = list(np.linspace(lo, hi, num_steps))
+    return [
+        (t, precision_recall(frames, t, iou_threshold)) for t in thresholds
+    ]
+
+
+def best_threshold(
+    frames: list[tuple[list[Detection], list[BoundingBox]]],
+    num_steps: int = 40,
+    iou_threshold: float = DEFAULT_IOU_THRESHOLD,
+) -> tuple[float, DetectionCounts]:
+    """The f_score-maximising cut-off ``d_t`` and its counts."""
+    sweep = sweep_thresholds(frames, num_steps, iou_threshold)
+    if not sweep:
+        raise ValueError("no detections to sweep thresholds over")
+    return max(sweep, key=lambda item: item[1].f_score)

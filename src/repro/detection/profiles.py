@@ -1,0 +1,244 @@
+"""Per-(algorithm, environment-family) detector response profiles.
+
+Each profile records the operating point the paper measured for that
+algorithm on that kind of scene (Tables II and III; the outdoor
+"terrace" family is not tabulated in the paper, so its profile encodes
+the paper's qualitative statement that "similar results are observed"
+with C4's contour cues strongest outdoors), plus the qualitative
+sensitivities that differentiate the algorithms:
+
+* HOG (Dalal-Triggs) — gradient template; moderate occlusion
+  sensitivity, weak on low contrast, fooled by vertical furniture
+  edges in cluttered scenes (hence its 0.42 precision on "chap").
+* ACF (aggregate channel features) — fast boosted channels; strong in
+  cluttered/high-resolution scenes, weaker on small/occluded people
+  at low resolution (0.34 recall on "lab").
+* C4 (contour cues) — contrast-driven; clean contours help, clutter
+  hurts moderately.
+* LSVM (deformable parts) — part-based, most robust to occlusion,
+  most expensive.
+
+The :class:`SimulatedDetector` turns a profile into actual score
+distributions; the numbers below are *targets* the calibration solves
+for, not hard-coded outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResponseProfile:
+    """Calibration target and response shape for one detector/scene pair.
+
+    Attributes:
+        algorithm: Detector name.
+        family: Environment family the profile applies to.
+        threshold: The paper's f_score-maximising score cut-off.
+        recall: Target recall at ``threshold``.
+        precision: Target precision at ``threshold``.
+        score_sigma: Std-dev of detection-score noise (algorithm scale).
+        occlusion_sensitivity: Score lost at full occlusion.
+        size_sensitivity: Score lost for objects at half the reference
+            pixel height.
+        contrast_sensitivity: Score lost at zero contrast.
+        fp_candidates: Mean false-positive candidate regions per frame
+            (clutter plus texture noise) the detector considers.
+    """
+
+    algorithm: str
+    family: str
+    threshold: float
+    recall: float
+    precision: float
+    score_sigma: float
+    occlusion_sensitivity: float
+    size_sensitivity: float
+    contrast_sensitivity: float
+    fp_candidates: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.recall <= 1.0:
+            raise ValueError(f"recall must be in (0, 1], got {self.recall}")
+        if not 0.0 < self.precision <= 1.0:
+            raise ValueError(
+                f"precision must be in (0, 1], got {self.precision}"
+            )
+        if self.score_sigma <= 0:
+            raise ValueError("score_sigma must be positive")
+
+    @property
+    def f_score(self) -> float:
+        """Target f_score at the profile's threshold."""
+        return (
+            2.0
+            * self.recall
+            * self.precision
+            / (self.recall + self.precision)
+        )
+
+
+# Score scales follow the paper's thresholds: HOG scores live around
+# [0, 1.5], ACF around [0, 40] on high-res scenes, C4 around [-1, 1.5],
+# LSVM around [-2, 1].
+_PROFILES: dict[tuple[str, str], ResponseProfile] = {}
+
+
+def _register(profile: ResponseProfile) -> None:
+    key = (profile.algorithm, profile.family)
+    if key in _PROFILES:
+        raise ValueError(f"duplicate profile for {key}")
+    _PROFILES[key] = profile
+
+
+# ----------------------------------------------------------------------
+# indoor_clean — the EPFL "lab" dataset (Table II).
+# ----------------------------------------------------------------------
+_register(ResponseProfile(
+    algorithm="HOG", family="indoor_clean",
+    threshold=0.5, recall=0.48, precision=1.0,
+    score_sigma=0.25, occlusion_sensitivity=0.65,
+    size_sensitivity=0.30, contrast_sensitivity=0.35,
+    fp_candidates=2.0,
+))
+_register(ResponseProfile(
+    algorithm="ACF", family="indoor_clean",
+    threshold=2.0, recall=0.34, precision=0.95,
+    score_sigma=1.6, occlusion_sensitivity=3.2,
+    size_sensitivity=4.5, contrast_sensitivity=1.5,
+    fp_candidates=2.5,
+))
+_register(ResponseProfile(
+    algorithm="C4", family="indoor_clean",
+    threshold=0.0, recall=0.46, precision=1.0,
+    score_sigma=0.30, occlusion_sensitivity=0.70,
+    size_sensitivity=0.35, contrast_sensitivity=0.60,
+    fp_candidates=2.0,
+))
+_register(ResponseProfile(
+    algorithm="LSVM", family="indoor_clean",
+    threshold=-1.2, recall=0.89, precision=0.90,
+    score_sigma=0.45, occlusion_sensitivity=0.50,
+    size_sensitivity=0.40, contrast_sensitivity=0.30,
+    fp_candidates=3.0,
+))
+
+# ----------------------------------------------------------------------
+# indoor_cluttered — the Graz "chap" dataset (Table III).  Furniture
+# drives HOG's precision down to 0.42 while ACF shines (0.83/0.89).
+# ----------------------------------------------------------------------
+_register(ResponseProfile(
+    algorithm="HOG", family="indoor_cluttered",
+    threshold=0.6, recall=0.80, precision=0.42,
+    score_sigma=0.25, occlusion_sensitivity=0.55,
+    size_sensitivity=0.20, contrast_sensitivity=0.35,
+    fp_candidates=9.0,
+))
+_register(ResponseProfile(
+    algorithm="ACF", family="indoor_cluttered",
+    threshold=20.0, recall=0.83, precision=0.89,
+    score_sigma=6.0, occlusion_sensitivity=10.0,
+    size_sensitivity=6.0, contrast_sensitivity=5.0,
+    fp_candidates=7.0,
+))
+_register(ResponseProfile(
+    algorithm="C4", family="indoor_cluttered",
+    threshold=0.5, recall=0.70, precision=0.70,
+    score_sigma=0.30, occlusion_sensitivity=0.60,
+    size_sensitivity=0.25, contrast_sensitivity=0.55,
+    fp_candidates=8.0,
+))
+_register(ResponseProfile(
+    algorithm="LSVM", family="indoor_cluttered",
+    threshold=-0.2, recall=0.84, precision=0.83,
+    score_sigma=0.45, occlusion_sensitivity=0.45,
+    size_sensitivity=0.30, contrast_sensitivity=0.30,
+    fp_candidates=7.5,
+))
+
+# ----------------------------------------------------------------------
+# outdoor — the EPFL "terrace" dataset.  Not tabulated in the paper
+# ("similar results are observed in the other dataset"); targets encode
+# clean outdoor contours favouring C4, with HOG close behind.
+# ----------------------------------------------------------------------
+_register(ResponseProfile(
+    algorithm="HOG", family="outdoor",
+    threshold=0.5, recall=0.62, precision=0.93,
+    score_sigma=0.25, occlusion_sensitivity=0.60,
+    size_sensitivity=0.30, contrast_sensitivity=0.35,
+    fp_candidates=3.5,
+))
+_register(ResponseProfile(
+    algorithm="ACF", family="outdoor",
+    threshold=2.0, recall=0.55, precision=0.90,
+    score_sigma=1.6, occlusion_sensitivity=3.0,
+    size_sensitivity=4.0, contrast_sensitivity=1.5,
+    fp_candidates=3.5,
+))
+_register(ResponseProfile(
+    algorithm="C4", family="outdoor",
+    threshold=0.0, recall=0.72, precision=0.95,
+    score_sigma=0.30, occlusion_sensitivity=0.65,
+    size_sensitivity=0.30, contrast_sensitivity=0.45,
+    fp_candidates=3.0,
+))
+_register(ResponseProfile(
+    algorithm="LSVM", family="outdoor",
+    threshold=-1.2, recall=0.90, precision=0.88,
+    score_sigma=0.45, occlusion_sensitivity=0.45,
+    size_sensitivity=0.35, contrast_sensitivity=0.30,
+    fp_candidates=4.0,
+))
+
+
+# ----------------------------------------------------------------------
+# night — an extension beyond the paper: the terrace after dark.
+# Weak gradients hurt HOG, starved channels hurt ACF, and contours all
+# but vanish for C4; the part-based LSVM degrades most gracefully.
+# ----------------------------------------------------------------------
+_register(ResponseProfile(
+    algorithm="HOG", family="night",
+    threshold=0.4, recall=0.42, precision=0.85,
+    score_sigma=0.25, occlusion_sensitivity=0.60,
+    size_sensitivity=0.30, contrast_sensitivity=0.70,
+    fp_candidates=4.0,
+))
+_register(ResponseProfile(
+    algorithm="ACF", family="night",
+    threshold=1.5, recall=0.35, precision=0.80,
+    score_sigma=1.6, occlusion_sensitivity=3.0,
+    size_sensitivity=4.0, contrast_sensitivity=3.5,
+    fp_candidates=4.5,
+))
+_register(ResponseProfile(
+    algorithm="C4", family="night",
+    threshold=0.0, recall=0.30, precision=0.75,
+    score_sigma=0.30, occlusion_sensitivity=0.65,
+    size_sensitivity=0.30, contrast_sensitivity=0.90,
+    fp_candidates=5.0,
+))
+_register(ResponseProfile(
+    algorithm="LSVM", family="night",
+    threshold=-1.0, recall=0.72, precision=0.82,
+    score_sigma=0.45, occlusion_sensitivity=0.45,
+    size_sensitivity=0.35, contrast_sensitivity=0.45,
+    fp_candidates=4.0,
+))
+
+
+def get_profile(algorithm: str, family: str) -> ResponseProfile:
+    """Look up the response profile for an algorithm/scene pair."""
+    try:
+        return _PROFILES[(algorithm, family)]
+    except KeyError:
+        known_algos = sorted({a for a, _ in _PROFILES})
+        known_fams = sorted({f for _, f in _PROFILES})
+        raise KeyError(
+            f"no profile for algorithm={algorithm!r}, family={family!r}; "
+            f"known algorithms {known_algos}, families {known_fams}"
+        ) from None
+
+
+def all_profiles() -> list[ResponseProfile]:
+    return list(_PROFILES.values())

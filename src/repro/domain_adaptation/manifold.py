@@ -1,0 +1,54 @@
+"""Grassmann manifold utilities.
+
+Subspaces with orthonormal bases ``x`` and ``z`` (both ``(alpha,
+beta)``) are points on ``Gr(beta, R^alpha)``; the principal angles
+between them determine both the geodesic distance and the geodesic
+flow kernel of Section III.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def orthonormalize(basis: np.ndarray) -> np.ndarray:
+    """Return an orthonormal basis spanning the same columns (thin QR)."""
+    basis = np.asarray(basis, dtype=float)
+    q, r = np.linalg.qr(basis)
+    # Flip signs so the decomposition is deterministic.
+    signs = np.sign(np.diag(r))
+    signs[signs == 0] = 1.0
+    return q * signs
+
+
+def principal_angles(x: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """Principal angles between two subspaces, ascending, in radians.
+
+    Args:
+        x: ``(alpha, b1)`` orthonormal basis.
+        z: ``(alpha, b2)`` orthonormal basis.
+
+    Returns:
+        ``min(b1, b2)`` angles in ``[0, pi/2]``.
+    """
+    x = np.asarray(x, dtype=float)
+    z = np.asarray(z, dtype=float)
+    if x.shape[0] != z.shape[0]:
+        raise ValueError(
+            f"bases live in different ambient spaces: {x.shape} vs {z.shape}"
+        )
+    cosines = np.linalg.svd(x.T @ z, compute_uv=False)
+    cosines = np.clip(cosines, -1.0, 1.0)
+    return np.sort(np.arccos(cosines))
+
+
+def subspace_distance(x: np.ndarray, z: np.ndarray) -> float:
+    """Geodesic (arc-length) distance: sqrt(sum of squared angles)."""
+    angles = principal_angles(x, z)
+    return float(np.sqrt(np.sum(angles**2)))
+
+
+def projection_frobenius_distance(x: np.ndarray, z: np.ndarray) -> float:
+    """Chordal distance ``(1/sqrt(2)) * ||xx^T - zz^T||_F``."""
+    angles = principal_angles(x, z)
+    return float(np.sqrt(np.sum(np.sin(angles) ** 2)))

@@ -1,0 +1,33 @@
+"""Energy substrate.
+
+Models the three energy quantities EECS optimises against (Sections
+IV and VI): per-frame processing cost of each detection algorithm
+(resolution-dependent, fitted to the Joule figures of Tables II-III),
+algorithm-independent communication cost of shipping detections to the
+controller, and per-camera batteries with per-frame budgets derived
+from the desired operation time and frame rate.
+"""
+
+from repro.energy.battery import Battery, frame_budget
+from repro.energy.communication import (
+    CommunicationEnergyModel,
+    jpeg_frame_bytes,
+)
+from repro.energy.meter import EnergyLedger, EnergyMeter
+from repro.energy.model import (
+    ProcessingEnergyModel,
+    processing_energy,
+    processing_time,
+)
+
+__all__ = [
+    "Battery",
+    "frame_budget",
+    "CommunicationEnergyModel",
+    "jpeg_frame_bytes",
+    "EnergyLedger",
+    "EnergyMeter",
+    "ProcessingEnergyModel",
+    "processing_energy",
+    "processing_time",
+]

@@ -1,0 +1,84 @@
+"""Battery state and per-frame energy budgets.
+
+Section VI: "the energy budget is computed by first defining an
+expected operation time (e.g., 6 hours) and an expected frame rate
+(e.g., image frames are processed every 2 seconds) ... the residual
+energy capacity is divided by the number of frames to compute the
+energy budget for each frame."
+"""
+
+from __future__ import annotations
+
+
+def frame_budget(
+    residual_joules: float,
+    operation_time_s: float,
+    seconds_per_frame: float,
+) -> float:
+    """Per-frame energy budget ``B_j``.
+
+    Args:
+        residual_joules: Remaining battery capacity.
+        operation_time_s: Required remaining operation time.
+        seconds_per_frame: Processing cadence (e.g. one frame every 2 s).
+
+    Returns:
+        Joules available per processed frame.
+    """
+    if residual_joules < 0:
+        raise ValueError("residual energy cannot be negative")
+    if operation_time_s <= 0 or seconds_per_frame <= 0:
+        raise ValueError("operation time and cadence must be positive")
+    frames_needed = operation_time_s / seconds_per_frame
+    return residual_joules / frames_needed
+
+
+class Battery:
+    """A camera sensor's battery with draw accounting.
+
+    A typical smartphone battery holds ~10 Wh = 36 kJ; the default
+    matches the Asus Zen II's ~3000 mAh pack.
+    """
+
+    def __init__(self, capacity_joules: float = 41000.0) -> None:
+        if capacity_joules <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_joules = capacity_joules
+        self._consumed = 0.0
+
+    @property
+    def consumed(self) -> float:
+        return self._consumed
+
+    @property
+    def residual(self) -> float:
+        return max(0.0, self.capacity_joules - self._consumed)
+
+    @property
+    def is_depleted(self) -> bool:
+        return self.residual <= 0.0
+
+    @property
+    def fraction_remaining(self) -> float:
+        return self.residual / self.capacity_joules
+
+    def draw(self, joules: float) -> float:
+        """Consume energy; returns the amount actually drawn (clamped
+        at the residual capacity)."""
+        if joules < 0:
+            raise ValueError("cannot draw negative energy")
+        drawn = min(joules, self.residual)
+        self._consumed += drawn
+        return drawn
+
+    def budget_for(
+        self, operation_time_s: float, seconds_per_frame: float
+    ) -> float:
+        """Current per-frame budget given the residual capacity."""
+        return frame_budget(self.residual, operation_time_s, seconds_per_frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Battery(residual={self.residual:.0f} J of "
+            f"{self.capacity_joules:.0f} J)"
+        )

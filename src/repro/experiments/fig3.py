@@ -1,0 +1,92 @@
+"""Fig. 3: the benefit of adaptively choosing the detection algorithm.
+
+The scenario: the environment changes from dataset #1 to dataset #2.
+A fixed strategy runs the same algorithm on both; the adaptive
+strategy (EECS) picks each dataset's best algorithm — HOG for #1, ACF
+for #2 in the paper.  The adaptive choice achieves a higher f_score
+than any fixed choice, and crucially improves precision and recall
+*simultaneously*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detection.metrics import DetectionCounts, f_score
+from repro.experiments.table2_3_4 import AlgorithmRow, algorithm_table
+
+
+@dataclass(frozen=True)
+class StrategyResult:
+    """Combined accuracy of one strategy over both datasets."""
+
+    strategy: str
+    recall: float
+    precision: float
+    f_score: float
+    per_dataset: dict[int, str]  # dataset -> algorithm used
+
+
+def _combine(rows: list[AlgorithmRow]) -> tuple[float, float, float]:
+    """Average recall/precision across datasets (equal weight), as the
+    paper's bar chart aggregates the two environments."""
+    recall = sum(r.recall for r in rows) / len(rows)
+    precision = sum(r.precision for r in rows) / len(rows)
+    return recall, precision, f_score(recall, precision)
+
+
+def adaptive_vs_fixed(
+    dataset_numbers: tuple[int, ...] = (1, 2),
+    camera_index: int = 0,
+    fixed_algorithms: tuple[str, ...] = ("HOG", "ACF"),
+    seed: int = 7,
+) -> list[StrategyResult]:
+    """Compare fixed-algorithm strategies with the adaptive choice.
+
+    Returns one :class:`StrategyResult` per fixed algorithm plus the
+    ``"adaptive"`` strategy that uses each dataset's best algorithm
+    (by training-segment f_score, which is how EECS ranks algorithms
+    after GFK matching).
+    """
+    test_rows: dict[int, dict[str, AlgorithmRow]] = {}
+    train_best: dict[int, str] = {}
+    for number in dataset_numbers:
+        train = algorithm_table(number, camera_index, "train", seed=seed)
+        thresholds = {r.algorithm: r.threshold for r in train}
+        test = algorithm_table(
+            number,
+            camera_index,
+            "test",
+            train_thresholds=thresholds,
+            seed=seed,
+        )
+        test_rows[number] = {r.algorithm: r for r in test}
+        # LSVM is excluded from deployment for its cost (Section VI-A).
+        deployable = [r for r in train if r.algorithm != "LSVM"]
+        train_best[number] = max(deployable, key=lambda r: r.f_score).algorithm
+
+    results = []
+    for algorithm in fixed_algorithms:
+        rows = [test_rows[n][algorithm] for n in dataset_numbers]
+        recall, precision, f = _combine(rows)
+        results.append(
+            StrategyResult(
+                strategy=algorithm,
+                recall=recall,
+                precision=precision,
+                f_score=f,
+                per_dataset={n: algorithm for n in dataset_numbers},
+            )
+        )
+    adaptive_rows = [test_rows[n][train_best[n]] for n in dataset_numbers]
+    recall, precision, f = _combine(adaptive_rows)
+    results.append(
+        StrategyResult(
+            strategy="adaptive",
+            recall=recall,
+            precision=precision,
+            f_score=f,
+            per_dataset=dict(train_best),
+        )
+    )
+    return results

@@ -1,0 +1,44 @@
+"""Shared experiment infrastructure.
+
+Building a :class:`SimulationRunner` involves offline training over a
+dataset's whole training segment (~5 s); experiments and benchmarks
+share runners through this cache so each dataset is trained once per
+process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import EECSConfig
+from repro.core.runner import SimulationRunner
+from repro.datasets.synthetic import make_dataset
+
+_RUNNERS: dict[int, SimulationRunner] = {}
+
+
+def get_runner(
+    dataset_number: int, config: EECSConfig | None = None
+) -> SimulationRunner:
+    """The shared runner for a dataset (built on first use).
+
+    A custom ``config`` bypasses the cache (the cached runner keeps
+    the defaults).
+    """
+    if config is not None:
+        return SimulationRunner(
+            make_dataset(dataset_number),
+            config=config,
+            rng=np.random.default_rng(2017 + dataset_number),
+        )
+    if dataset_number not in _RUNNERS:
+        _RUNNERS[dataset_number] = SimulationRunner(
+            make_dataset(dataset_number),
+            rng=np.random.default_rng(2017 + dataset_number),
+        )
+    return _RUNNERS[dataset_number]
+
+
+def reset_runners() -> None:
+    """Testing hook: drop all cached runners."""
+    _RUNNERS.clear()

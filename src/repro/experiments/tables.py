@@ -1,0 +1,38 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[object]],
+    float_format: str = "{:.3g}",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: Column titles.
+        rows: Row values; floats are formatted with ``float_format``.
+
+    Returns:
+        The rendered multi-line string.
+    """
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Sensor-to-controller messaging substrate.
+
+Models the wireless side of the paper's deployment (Fig. 2): camera
+sensors upload frame features (~16 KB per frame), energy reports and
+per-detection metadata (172 bytes per object); the controller replies
+with algorithm assignments.  A small discrete-event simulator delivers
+messages over links with finite bandwidth and per-byte radio energy,
+so coordination overheads are accounted in both time and Joules.
+"""
+
+from repro.network.link import WirelessLink
+from repro.network.messages import (
+    AlgorithmAssignment,
+    DetectionMetadata,
+    EnergyReport,
+    FeatureUpload,
+    Message,
+)
+from repro.network.node import CameraSensorNode, ControllerNode, Node
+from repro.network.simulator import EventSimulator
+
+__all__ = [
+    "WirelessLink",
+    "AlgorithmAssignment",
+    "DetectionMetadata",
+    "EnergyReport",
+    "FeatureUpload",
+    "Message",
+    "CameraSensorNode",
+    "ControllerNode",
+    "Node",
+    "EventSimulator",
+]

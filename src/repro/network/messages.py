@@ -1,0 +1,104 @@
+"""Typed messages exchanged between sensors and the controller.
+
+Sizes follow Section V-A: a frame feature vector is 4180 floats
+(~16 KB); detection metadata is 172 bytes per object (8 B bounding
+box, 4 B probability, 160 B colour feature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.detection.base import Detection
+
+FEATURE_BYTES_PER_FRAME = 16720
+METADATA_BYTES_PER_OBJECT = 172
+
+
+@dataclass
+class Message:
+    """Base class for network messages.
+
+    Attributes:
+        sender: Node id of the originator.
+        recipient: Node id of the destination.
+    """
+
+    sender: str
+    recipient: str
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size; subclasses override with their payload size."""
+        return 64  # headers only
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class FeatureUpload(Message):
+    """Frame features uploaded for GFK matching (Section IV-B.1)."""
+
+    features: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+
+    @property
+    def size_bytes(self) -> int:
+        num_frames = len(np.atleast_2d(self.features))
+        return 64 + num_frames * FEATURE_BYTES_PER_FRAME
+
+
+@dataclass
+class EnergyReport(Message):
+    """Residual energy / budget notification."""
+
+    residual_joules: float = 0.0
+    budget_per_frame: float = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        return 64 + 16
+
+
+@dataclass
+class DetectionMetadata(Message):
+    """Per-frame detection metadata for accuracy assessment."""
+
+    frame_index: int = 0
+    algorithm: str = ""
+    detections: list[Detection] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return 64 + METADATA_BYTES_PER_OBJECT * len(self.detections)
+
+
+@dataclass
+class AlgorithmAssignment(Message):
+    """Controller decision: which algorithm (or none) to run."""
+
+    algorithm: str | None = None
+    threshold: float = float("nan")
+
+    @property
+    def active(self) -> bool:
+        return self.algorithm is not None
+
+    @property
+    def size_bytes(self) -> int:
+        return 64 + 16
+
+
+@dataclass
+class AssessmentRequest(Message):
+    """Controller trigger: run all affordable algorithms and report."""
+
+    num_frames: int = 4
+    algorithms: list[str] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return 64 + 4 + 8 * len(self.algorithms)

@@ -1,0 +1,281 @@
+"""Camera-sensor and controller nodes speaking the EECS protocol.
+
+These nodes run the paper's Fig. 2 interaction over the discrete-event
+simulator: sensors upload features and energy reports at startup, the
+controller requests assessments, sensors stream detection metadata,
+and the controller pushes algorithm assignments back.  Energy for both
+processing and transmission is drawn from each sensor's battery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.controller import EECSController
+from repro.core.selection import AssessmentData
+from repro.detection.base import Detection, Detector
+from repro.energy.battery import Battery
+from repro.energy.model import ProcessingEnergyModel
+from repro.network.messages import (
+    AlgorithmAssignment,
+    AssessmentRequest,
+    DetectionMetadata,
+    EnergyReport,
+    FeatureUpload,
+    Message,
+)
+from repro.network.simulator import Node
+from repro.world.renderer import FrameObservation
+
+
+class CameraSensorNode(Node):
+    """A battery-operated camera sensor.
+
+    The node owns its frame stream (pre-rendered observations), its
+    pre-installed detectors, and its battery.  It answers assessment
+    requests by running the requested algorithms over the next frames
+    and streaming metadata back, and otherwise runs whatever algorithm
+    the controller assigned.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        controller_id: str,
+        observations: list[FrameObservation],
+        detectors: dict[str, Detector],
+        thresholds: dict[str, float],
+        energy_model: ProcessingEnergyModel,
+        battery: Battery | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(node_id)
+        self.controller_id = controller_id
+        self.observations = observations
+        self.detectors = detectors
+        self.thresholds = thresholds
+        self.energy_model = energy_model
+        self.battery = battery or Battery()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.cursor = 0
+        self.active_algorithm: str | None = None
+        self.frames_processed = 0
+
+    # ------------------------------------------------------------------
+    # Energy accounting hooks
+    # ------------------------------------------------------------------
+    def on_transmit(self, num_bytes: int, energy_joules: float) -> None:
+        self.battery.draw(energy_joules)
+
+    def _run_algorithm(
+        self, observation: FrameObservation, algorithm: str
+    ) -> list[Detection]:
+        self.battery.draw(self.energy_model.energy_per_frame(algorithm))
+        return self.detectors[algorithm].detect(
+            observation, self.rng, threshold=self.thresholds.get(algorithm)
+        )
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def start(self, features: np.ndarray | None = None) -> None:
+        """Startup: upload features (optional) and the energy report."""
+        if features is not None:
+            self.send(
+                FeatureUpload(
+                    sender=self.node_id,
+                    recipient=self.controller_id,
+                    features=features,
+                )
+            )
+        self.report_energy()
+
+    def report_energy(self) -> None:
+        self.send(
+            EnergyReport(
+                sender=self.node_id,
+                recipient=self.controller_id,
+                residual_joules=self.battery.residual,
+            )
+        )
+
+    def receive(self, message: Message) -> None:
+        if isinstance(message, AssessmentRequest):
+            self._handle_assessment(message)
+        elif isinstance(message, AlgorithmAssignment):
+            self.active_algorithm = message.algorithm
+        else:
+            raise TypeError(
+                f"camera {self.node_id!r} cannot handle {message.kind}"
+            )
+
+    def _handle_assessment(self, request: AssessmentRequest) -> None:
+        for _ in range(request.num_frames):
+            if self.cursor >= len(self.observations):
+                break
+            observation = self.observations[self.cursor]
+            self.cursor += 1
+            self.frames_processed += 1
+            for algorithm in request.algorithms:
+                detections = self._run_algorithm(observation, algorithm)
+                self.send(
+                    DetectionMetadata(
+                        sender=self.node_id,
+                        recipient=self.controller_id,
+                        frame_index=observation.frame_index,
+                        algorithm=algorithm,
+                        detections=detections,
+                    )
+                )
+
+    def process_next_frame(self) -> bool:
+        """Operational tick: run the assigned algorithm on one frame.
+
+        Returns False when the stream is exhausted or the node is idle.
+        """
+        if self.active_algorithm is None:
+            return False
+        if self.cursor >= len(self.observations):
+            return False
+        observation = self.observations[self.cursor]
+        self.cursor += 1
+        self.frames_processed += 1
+        detections = self._run_algorithm(observation, self.active_algorithm)
+        self.send(
+            DetectionMetadata(
+                sender=self.node_id,
+                recipient=self.controller_id,
+                frame_index=observation.frame_index,
+                algorithm=self.active_algorithm,
+                detections=detections,
+            )
+        )
+        return True
+
+
+@dataclass
+class _AssessmentCollector:
+    """Accumulates metadata messages into an AssessmentData."""
+
+    expected_frames: int
+    by_frame: dict[int, dict[str, dict[str, list[Detection]]]] = field(
+        default_factory=dict
+    )
+
+    def add(self, message: DetectionMetadata) -> None:
+        frame = self.by_frame.setdefault(message.frame_index, {})
+        camera = frame.setdefault(message.sender, {})
+        camera[message.algorithm] = list(message.detections)
+
+    def to_assessment(self) -> AssessmentData:
+        ordered = [self.by_frame[k] for k in sorted(self.by_frame)]
+        return AssessmentData(frames=ordered)
+
+
+class ControllerNode(Node):
+    """The central controller as a network node."""
+
+    def __init__(
+        self,
+        node_id: str,
+        controller: EECSController,
+        assessment_frames: int = 4,
+        budget: float | None = None,
+    ) -> None:
+        super().__init__(node_id)
+        self.controller = controller
+        self.assessment_frames = assessment_frames
+        self.budget = budget
+        self.energy_reports: dict[str, float] = {}
+        self.operational_metadata: list[DetectionMetadata] = []
+        self.decisions = []
+        self._collector: _AssessmentCollector | None = None
+        self._pending_cameras: set[str] = set()
+        self._pending_algorithms: dict[str, int] = {}
+
+    def receive(self, message: Message) -> None:
+        if isinstance(message, FeatureUpload):
+            if self.controller.comparator is not None:
+                self.controller.receive_features(
+                    message.sender, message.features
+                )
+        elif isinstance(message, EnergyReport):
+            self.energy_reports[message.sender] = message.residual_joules
+        elif isinstance(message, DetectionMetadata):
+            self._handle_metadata(message)
+        else:
+            raise TypeError(
+                f"controller cannot handle {message.kind}"
+            )
+
+    # ------------------------------------------------------------------
+    # Assessment round orchestration
+    # ------------------------------------------------------------------
+    def start_assessment(
+        self, camera_algorithms: dict[str, list[str]]
+    ) -> None:
+        """Ask every camera to run its affordable algorithms."""
+        self._collector = _AssessmentCollector(
+            expected_frames=self.assessment_frames
+        )
+        self._pending_cameras = set(camera_algorithms)
+        self._pending_algorithms = {
+            camera: self.assessment_frames * len(algorithms)
+            for camera, algorithms in camera_algorithms.items()
+        }
+        for camera_id, algorithms in camera_algorithms.items():
+            self.send(
+                AssessmentRequest(
+                    sender=self.node_id,
+                    recipient=camera_id,
+                    num_frames=self.assessment_frames,
+                    algorithms=algorithms,
+                )
+            )
+
+    def _handle_metadata(self, message: DetectionMetadata) -> None:
+        if (
+            self._collector is not None
+            and message.sender in self._pending_cameras
+        ):
+            self.controller.calibrate_probabilities(
+                message.sender, message.detections
+            )
+            self._collector.add(message)
+            self._pending_algorithms[message.sender] -= 1
+            if self._pending_algorithms[message.sender] <= 0:
+                self._pending_cameras.discard(message.sender)
+            if not self._pending_cameras:
+                self._finish_assessment()
+        else:
+            self.operational_metadata.append(message)
+
+    def _finish_assessment(self) -> None:
+        assessment = self._collector.to_assessment()
+        self._collector = None
+        overrides = (
+            {c: self.budget for c in self.controller.camera_ids}
+            if self.budget is not None
+            else None
+        )
+        decision = self.controller.select(
+            assessment, budget_overrides=overrides
+        )
+        self.decisions.append(decision)
+        for camera_id in self.controller.camera_ids:
+            algorithm = decision.assignment.get(camera_id)
+            threshold = float("nan")
+            if algorithm is not None:
+                state = self.controller.camera(camera_id)
+                item = self.controller.library.get(state.matched_item)
+                threshold = item.profile(algorithm).threshold
+            self.send(
+                AlgorithmAssignment(
+                    sender=self.node_id,
+                    recipient=camera_id,
+                    algorithm=algorithm,
+                    threshold=threshold,
+                )
+            )

@@ -1,0 +1,135 @@
+"""Discrete-event simulator for the sensor network.
+
+A minimal priority-queue event loop: callbacks are scheduled at
+absolute times and executed in order; message delivery between nodes
+is an event whose delay comes from the link's transfer time.  Nodes
+register by id; delivery charges the sender's transmission energy.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.network.link import WirelessLink
+from repro.network.messages import Message
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class EventSimulator:
+    """Priority-queue discrete-event loop with message routing."""
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._nodes: dict[str, "Node"] = {}
+        self._links: dict[tuple[str, str], WirelessLink] = {}
+        self.delivered_messages = 0
+        self.transferred_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def register_node(self, node: "Node") -> None:
+        if node.node_id in self._nodes:
+            raise ValueError(f"node {node.node_id!r} already registered")
+        self._nodes[node.node_id] = node
+        node.simulator = self
+
+    def connect(
+        self, node_a: str, node_b: str, link: WirelessLink | None = None
+    ) -> None:
+        """Create a bidirectional link between two registered nodes."""
+        for node_id in (node_a, node_b):
+            if node_id not in self._nodes:
+                raise KeyError(f"node {node_id!r} not registered")
+        link = link or WirelessLink()
+        self._links[(node_a, node_b)] = link
+        self._links[(node_b, node_a)] = link
+
+    def link_between(self, sender: str, recipient: str) -> WirelessLink:
+        try:
+            return self._links[(sender, recipient)]
+        except KeyError:
+            raise KeyError(
+                f"no link between {sender!r} and {recipient!r}"
+            ) from None
+
+    def node(self, node_id: str) -> "Node":
+        return self._nodes[node_id]
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError("cannot schedule in the past")
+        heapq.heappush(
+            self._queue, _Event(self._now + delay, next(self._seq), callback)
+        )
+
+    def send(self, message: Message) -> None:
+        """Deliver a message over the connecting link.
+
+        Charges the sender's radio energy immediately and schedules
+        the recipient's ``receive`` after the transfer time.
+        """
+        link = self.link_between(message.sender, message.recipient)
+        sender = self._nodes[message.sender]
+        recipient = self._nodes[message.recipient]
+        size = message.size_bytes
+        sender.on_transmit(size, link.transfer_energy(size))
+        self.transferred_bytes += size
+
+        def deliver() -> None:
+            self.delivered_messages += 1
+            recipient.receive(message)
+
+        self.schedule(link.transfer_time(size), deliver)
+
+    def run(self, until: float | None = None, max_events: int = 1_000_000) -> int:
+        """Drain the event queue; returns the number of events run."""
+        executed = 0
+        while self._queue and executed < max_events:
+            if until is not None and self._queue[0].time > until:
+                break
+            event = heapq.heappop(self._queue)
+            self._now = max(self._now, event.time)
+            event.callback()
+            executed += 1
+        return executed
+
+
+class Node:
+    """Base network node; subclasses implement ``receive``."""
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self.simulator: EventSimulator | None = None
+
+    def send(self, message: Message) -> None:
+        if self.simulator is None:
+            raise RuntimeError(
+                f"node {self.node_id!r} is not attached to a simulator"
+            )
+        self.simulator.send(message)
+
+    def on_transmit(self, num_bytes: int, energy_joules: float) -> None:
+        """Hook: sender-side accounting (default no-op)."""
+
+    def receive(self, message: Message) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,116 @@
+"""Saving and loading controller state.
+
+A real deployment trains the controller once and ships the resulting
+library to the field.  This module serialises a
+:class:`~repro.core.calibration.TrainingLibrary` (profiles, thresholds,
+score calibrators and optional feature stacks) to a JSON document and
+back, so offline training survives process restarts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.calibration import (
+    AlgorithmProfile,
+    TrainingItem,
+    TrainingLibrary,
+)
+from repro.detection.scores import ScoreCalibrator
+
+FORMAT_VERSION = 1
+
+
+def _profile_to_dict(profile: AlgorithmProfile) -> dict:
+    return {
+        "algorithm": profile.algorithm,
+        "training_item": profile.training_item,
+        "threshold": profile.threshold,
+        "precision": profile.precision,
+        "recall": profile.recall,
+        "f_score": profile.f_score,
+        "energy_per_frame": profile.energy_per_frame,
+        "time_per_frame": profile.time_per_frame,
+        "calibrator": {
+            "fitted": profile.calibrator.is_fitted,
+            "weight": profile.calibrator.weight,
+            "bias": profile.calibrator.bias,
+        },
+    }
+
+
+def _profile_from_dict(data: dict) -> AlgorithmProfile:
+    calibrator = ScoreCalibrator()
+    cal = data.get("calibrator", {})
+    if cal.get("fitted"):
+        calibrator.weight = float(cal["weight"])
+        calibrator.bias = float(cal["bias"])
+        calibrator._fitted = True
+    return AlgorithmProfile(
+        algorithm=data["algorithm"],
+        training_item=data["training_item"],
+        threshold=float(data["threshold"]),
+        precision=float(data["precision"]),
+        recall=float(data["recall"]),
+        f_score=float(data["f_score"]),
+        energy_per_frame=float(data["energy_per_frame"]),
+        time_per_frame=float(data["time_per_frame"]),
+        calibrator=calibrator,
+    )
+
+
+def library_to_dict(library: TrainingLibrary) -> dict:
+    """Serialise a training library to plain Python structures."""
+    items = {}
+    for name in library.names:
+        item = library.get(name)
+        items[name] = {
+            "profiles": {
+                algorithm: _profile_to_dict(profile)
+                for algorithm, profile in item.profiles.items()
+            },
+            "features": item.features.tolist()
+            if item.features.size
+            else [],
+        }
+    return {"version": FORMAT_VERSION, "items": items}
+
+
+def library_from_dict(data: dict) -> TrainingLibrary:
+    """Rebuild a training library from :func:`library_to_dict` output."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported library format version {version!r}; "
+            f"expected {FORMAT_VERSION}"
+        )
+    library = TrainingLibrary()
+    for name, item_data in data["items"].items():
+        profiles = {
+            algorithm: _profile_from_dict(profile_data)
+            for algorithm, profile_data in item_data["profiles"].items()
+        }
+        features = np.asarray(item_data.get("features", []), dtype=float)
+        if features.size == 0:
+            features = np.zeros((0, 0))
+        library.add(
+            TrainingItem(name=name, profiles=profiles, features=features)
+        )
+    return library
+
+
+def save_library(library: TrainingLibrary, path: str | Path) -> None:
+    """Write a training library as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(library_to_dict(library), indent=1))
+
+
+def load_library(path: str | Path) -> TrainingLibrary:
+    """Read a training library written by :func:`save_library`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no library file at {path}")
+    return library_from_dict(json.loads(path.read_text()))

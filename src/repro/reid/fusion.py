@@ -1,0 +1,84 @@
+"""Multi-view detection fusion (Eq. 6).
+
+Once detections from different cameras are grouped as one physical
+object, their per-camera detection probabilities ``P_ij`` are combined
+into a single true-positive probability: the complement of all views
+being false positives,  ``P_i = 1 - prod_j (1 - P_ij)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.detection.base import Detection
+
+
+def fuse_probabilities(probabilities: list[float]) -> float:
+    """Eq. (6): combined true-positive probability of one object.
+
+    Args:
+        probabilities: Per-camera detection probabilities in [0, 1].
+
+    Returns:
+        ``1 - prod(1 - p)``; 0.0 for an empty list.
+    """
+    if not probabilities:
+        return 0.0
+    probs = np.asarray(probabilities, dtype=float)
+    if np.any((probs < 0) | (probs > 1)):
+        raise ValueError(f"probabilities must lie in [0, 1]: {probabilities}")
+    return float(1.0 - np.prod(1.0 - probs))
+
+
+@dataclass
+class ObjectGroup:
+    """Detections from multiple cameras re-identified as one object."""
+
+    detections: list[Detection] = field(default_factory=list)
+    ground_point: tuple[float, float] | None = None
+
+    @property
+    def camera_ids(self) -> list[str]:
+        return [d.camera_id for d in self.detections]
+
+    @property
+    def fused_probability(self) -> float:
+        """Eq. (6) over the group's calibrated probabilities; raw
+        detections without a calibrated probability contribute their
+        clamped score as a fallback."""
+        probs = []
+        for det in self.detections:
+            p = det.probability
+            if np.isnan(p):
+                p = float(np.clip(det.score, 0.0, 1.0))
+            probs.append(float(np.clip(p, 0.0, 1.0)))
+        return fuse_probabilities(probs)
+
+    @property
+    def truth_ids(self) -> set[int]:
+        """Ground-truth ids present in the group (evaluation only)."""
+        return {
+            d.truth_id for d in self.detections if d.truth_id is not None
+        }
+
+    @property
+    def is_true_object(self) -> bool:
+        """Evaluation-only: does any member detection hit a real person?"""
+        return len(self.truth_ids) > 0
+
+    @property
+    def majority_truth_id(self) -> int | None:
+        """Most common ground-truth id among members (evaluation only)."""
+        ids = [d.truth_id for d in self.detections if d.truth_id is not None]
+        if not ids:
+            return None
+        values, counts = np.unique(ids, return_counts=True)
+        return int(values[np.argmax(counts)])
+
+    def add(self, detection: Detection) -> None:
+        self.detections.append(detection)
+
+    def __len__(self) -> int:
+        return len(self.detections)

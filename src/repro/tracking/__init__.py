@@ -1,0 +1,16 @@
+"""Ground-plane multi-object tracking.
+
+Section VII of the paper argues that objects missed in some frames
+"are likely to be detected at other frames (e.g., when the objects
+move to different locations)".  This package makes that concrete: a
+constant-velocity Kalman filter per object on the ground plane, greedy
+gated association of fused detections to tracks, and track lifecycle
+management.  Tracks bridge detection gaps, so a deployment's *track
+level* recall exceeds its frame-level recall — quantified in the
+tracking example and benchmark.
+"""
+
+from repro.tracking.kalman import KalmanFilter2D
+from repro.tracking.tracker import GroundPlaneTracker, Track
+
+__all__ = ["KalmanFilter2D", "GroundPlaneTracker", "Track"]

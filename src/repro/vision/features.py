@@ -1,0 +1,62 @@
+"""Combined frame features for video comparison.
+
+Section V-A: each frame is represented by its 3780-dim HOG descriptor
+concatenated with its 400-bin bag-of-words histogram — a fixed
+4180-dimensional vector (~16 KB) regardless of image size.  These per-
+frame vectors are what the camera sensors upload to the controller
+for the domain-adaptation similarity computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.bow import BagOfWords
+from repro.vision.hog import HOG_DIM, hog_descriptor
+from repro.vision.keypoints import extract_descriptors
+
+FRAME_FEATURE_DIM = HOG_DIM + 400
+
+
+class FrameFeatureExtractor:
+    """HOG ++ BoW frame features, sharing one visual vocabulary."""
+
+    def __init__(self, bow: BagOfWords) -> None:
+        self.bow = bow
+
+    @property
+    def dim(self) -> int:
+        return HOG_DIM + self.bow.vocabulary_size
+
+    def extract(self, image: np.ndarray) -> np.ndarray:
+        """Feature vector of a single frame."""
+        hog = hog_descriptor(image)
+        words = self.bow.transform_image(image)
+        return np.concatenate([hog, words])
+
+    def extract_video(self, frames: list[np.ndarray]) -> np.ndarray:
+        """Stack of per-frame features, shape ``(k, dim)``."""
+        if not frames:
+            raise ValueError("extract_video needs at least one frame")
+        return np.stack([self.extract(frame) for frame in frames])
+
+
+def build_vocabulary(
+    training_frames: list[np.ndarray],
+    vocabulary_size: int = 400,
+    rng: np.random.Generator | None = None,
+) -> BagOfWords:
+    """Fit the shared visual vocabulary from training frames."""
+    stacks = [extract_descriptors(frame) for frame in training_frames]
+    stacks = [s for s in stacks if len(s) > 0]
+    if not stacks:
+        raise ValueError("no keypoints in any vocabulary training frame")
+    bow = BagOfWords(vocabulary_size=vocabulary_size, rng=rng)
+    return bow.fit(np.vstack(stacks))
+
+
+def video_features(
+    frames: list[np.ndarray], bow: BagOfWords
+) -> np.ndarray:
+    """Convenience wrapper: per-frame combined features of a clip."""
+    return FrameFeatureExtractor(bow).extract_video(frames)

@@ -1,0 +1,97 @@
+"""Histogram of oriented gradients (Dalal & Triggs, CVPR 2005).
+
+The paper represents each frame by a 3780-dimensional HOG vector —
+exactly the standard 64x128 person-window layout: 8x8-pixel cells,
+9 unsigned orientation bins, 2x2-cell blocks with stride one cell
+(7 x 15 blocks x 36 values = 3780), block-wise L2-Hys normalisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.image import image_gradients, resize_bilinear
+
+HOG_WINDOW = (64, 128)  # (width, height)
+CELL_SIZE = 8
+BLOCK_CELLS = 2
+NUM_BINS = 9
+HOG_DIM = 3780
+
+
+def cell_histograms(image: np.ndarray) -> np.ndarray:
+    """Per-cell orientation histograms with bilinear bin interpolation.
+
+    Returns an array of shape ``(cells_y, cells_x, NUM_BINS)``.
+    """
+    gx, gy = image_gradients(image)
+    magnitude = np.hypot(gx, gy)
+    # Unsigned orientation in [0, pi).
+    orientation = np.mod(np.arctan2(gy, gx), np.pi)
+
+    h, w = image.shape
+    cells_y, cells_x = h // CELL_SIZE, w // CELL_SIZE
+    bin_width = np.pi / NUM_BINS
+    bin_pos = orientation / bin_width - 0.5
+    lower = np.floor(bin_pos).astype(int)
+    frac = bin_pos - lower
+    lower_bin = np.mod(lower, NUM_BINS)
+    upper_bin = np.mod(lower + 1, NUM_BINS)
+
+    hist = np.zeros((cells_y, cells_x, NUM_BINS))
+    ys = np.arange(h) // CELL_SIZE
+    xs = np.arange(w) // CELL_SIZE
+    valid_h = cells_y * CELL_SIZE
+    valid_w = cells_x * CELL_SIZE
+    for cy in range(cells_y):
+        row = slice(cy * CELL_SIZE, (cy + 1) * CELL_SIZE)
+        for cx in range(cells_x):
+            col = slice(cx * CELL_SIZE, (cx + 1) * CELL_SIZE)
+            mag = magnitude[row, col].ravel()
+            lo = lower_bin[row, col].ravel()
+            hi = upper_bin[row, col].ravel()
+            fr = frac[row, col].ravel()
+            np.add.at(hist[cy, cx], lo, mag * (1 - fr))
+            np.add.at(hist[cy, cx], hi, mag * fr)
+    del ys, xs, valid_h, valid_w
+    return hist
+
+
+def _normalise_blocks(hist: np.ndarray) -> np.ndarray:
+    """L2-Hys normalisation over 2x2-cell blocks, stride one cell."""
+    cells_y, cells_x, _ = hist.shape
+    blocks_y = cells_y - BLOCK_CELLS + 1
+    blocks_x = cells_x - BLOCK_CELLS + 1
+    out = []
+    for by in range(blocks_y):
+        for bx in range(blocks_x):
+            block = hist[by : by + BLOCK_CELLS, bx : bx + BLOCK_CELLS].ravel()
+            norm = np.linalg.norm(block) + 1e-6
+            block = block / norm
+            block = np.minimum(block, 0.2)
+            norm = np.linalg.norm(block) + 1e-6
+            out.append(block / norm)
+    return np.concatenate(out)
+
+
+def hog_descriptor(image: np.ndarray, resize: bool = True) -> np.ndarray:
+    """Compute the 3780-dim HOG descriptor of a grayscale frame.
+
+    Args:
+        image: ``(h, w)`` float image.
+        resize: When True (default), the frame is first resampled to
+            the canonical 64x128 window; pass False only for images
+            already at a cell-aligned size.
+
+    Returns:
+        1-D float descriptor; 3780 values for the canonical window.
+    """
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValueError(f"expected 2-D image, got shape {image.shape}")
+    if resize:
+        image = resize_bilinear(image, HOG_WINDOW[0], HOG_WINDOW[1])
+    if image.shape[0] < CELL_SIZE * BLOCK_CELLS or image.shape[1] < CELL_SIZE * BLOCK_CELLS:
+        raise ValueError(f"image too small for HOG: {image.shape}")
+    hist = cell_histograms(image)
+    return _normalise_blocks(hist)

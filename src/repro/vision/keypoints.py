@@ -1,0 +1,120 @@
+"""Hessian-based keypoint detection with SURF-style descriptors.
+
+A stand-in for OpenCV's SURF (Section V-A of the paper): interest
+points are local maxima of the determinant of the Hessian computed at
+a small Gaussian scale; each keypoint carries a 64-dimensional
+descriptor built, as in SURF, from a 4x4 grid of sub-regions around
+the point with ``(sum dx, sum |dx|, sum dy, sum |dy|)`` per sub-region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.vision.image import image_gradients
+
+DESCRIPTOR_DIM = 64
+_GRID = 4  # 4x4 sub-regions
+_SUBREGION = 3  # pixels per sub-region side
+
+
+@dataclass(frozen=True)
+class Keypoint:
+    """An interest point with its response strength."""
+
+    x: float
+    y: float
+    response: float
+
+
+def hessian_response(image: np.ndarray, sigma: float = 1.6) -> np.ndarray:
+    """Determinant-of-Hessian response map at scale ``sigma``."""
+    image = np.asarray(image, dtype=float)
+    lxx = ndimage.gaussian_filter(image, sigma, order=(0, 2))
+    lyy = ndimage.gaussian_filter(image, sigma, order=(2, 0))
+    lxy = ndimage.gaussian_filter(image, sigma, order=(1, 1))
+    return lxx * lyy - (0.9 * lxy) ** 2
+
+
+def detect_keypoints(
+    image: np.ndarray,
+    max_keypoints: int = 200,
+    sigma: float = 1.6,
+    threshold_rel: float = 0.05,
+) -> list[Keypoint]:
+    """Find local maxima of the Hessian response.
+
+    Args:
+        image: Grayscale float image.
+        max_keypoints: Keep at most this many, strongest first.
+        sigma: Gaussian scale of the Hessian.
+        threshold_rel: Responses below ``threshold_rel * max_response``
+            are discarded.
+
+    Returns:
+        Keypoints sorted by decreasing response.
+    """
+    response = np.abs(hessian_response(image, sigma))
+    if response.size == 0:
+        return []
+    # The absolute floor rejects numerical noise on near-constant
+    # images, where the relative threshold alone would admit peaks.
+    floor = max(threshold_rel * response.max(), 1e-7)
+    local_max = ndimage.maximum_filter(response, size=3)
+    peak_mask = (response == local_max) & (response > floor)
+    # Keep a border so descriptors fit.
+    margin = _GRID * _SUBREGION // 2 + 1
+    peak_mask[:margin, :] = False
+    peak_mask[-margin:, :] = False
+    peak_mask[:, :margin] = False
+    peak_mask[:, -margin:] = False
+    ys, xs = np.nonzero(peak_mask)
+    points = [
+        Keypoint(x=float(x), y=float(y), response=float(response[y, x]))
+        for y, x in zip(ys, xs)
+    ]
+    points.sort(key=lambda kp: -kp.response)
+    return points[:max_keypoints]
+
+
+def describe_keypoint(
+    gx: np.ndarray, gy: np.ndarray, keypoint: Keypoint
+) -> np.ndarray:
+    """SURF-style 64-dim descriptor from precomputed gradients."""
+    half = _GRID * _SUBREGION // 2
+    cy, cx = int(keypoint.y), int(keypoint.x)
+    patch_gx = gx[cy - half : cy + half, cx - half : cx + half]
+    patch_gy = gy[cy - half : cy + half, cx - half : cx + half]
+    desc = np.zeros((_GRID, _GRID, 4))
+    for sy in range(_GRID):
+        for sx in range(_GRID):
+            rows = slice(sy * _SUBREGION, (sy + 1) * _SUBREGION)
+            cols = slice(sx * _SUBREGION, (sx + 1) * _SUBREGION)
+            dx = patch_gx[rows, cols]
+            dy = patch_gy[rows, cols]
+            desc[sy, sx] = [
+                dx.sum(),
+                np.abs(dx).sum(),
+                dy.sum(),
+                np.abs(dy).sum(),
+            ]
+    vec = desc.ravel()
+    norm = np.linalg.norm(vec)
+    if norm > 1e-12:
+        vec = vec / norm
+    return vec
+
+
+def extract_descriptors(
+    image: np.ndarray, max_keypoints: int = 200
+) -> np.ndarray:
+    """Detect keypoints and return an ``(n, 64)`` descriptor matrix."""
+    image = np.asarray(image, dtype=float)
+    keypoints = detect_keypoints(image, max_keypoints=max_keypoints)
+    if not keypoints:
+        return np.zeros((0, DESCRIPTOR_DIM))
+    gx, gy = image_gradients(image)
+    return np.stack([describe_keypoint(gx, gy, kp) for kp in keypoints])

@@ -1,0 +1,56 @@
+"""Non-maximum suppression for scored detection boxes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def non_max_suppression(
+    boxes: np.ndarray,
+    scores: np.ndarray,
+    iou_threshold: float = 0.4,
+) -> list[int]:
+    """Greedy NMS: keep the highest-scoring box, drop overlaps, repeat.
+
+    Args:
+        boxes: ``(n, 4)`` array of ``(x, y, w, h)`` boxes.
+        scores: ``(n,)`` detection scores.
+        iou_threshold: Boxes overlapping a kept box above this IoU are
+            suppressed.
+
+    Returns:
+        Indices of the kept boxes, in decreasing score order.
+    """
+    boxes = np.asarray(boxes, dtype=float)
+    scores = np.asarray(scores, dtype=float)
+    if boxes.ndim != 2 or boxes.shape[1] != 4:
+        raise ValueError(f"expected (n, 4) boxes, got {boxes.shape}")
+    if len(boxes) != len(scores):
+        raise ValueError("boxes and scores must have the same length")
+    if not 0.0 <= iou_threshold <= 1.0:
+        raise ValueError("iou_threshold must lie in [0, 1]")
+    if len(boxes) == 0:
+        return []
+
+    x1 = boxes[:, 0]
+    y1 = boxes[:, 1]
+    x2 = boxes[:, 0] + boxes[:, 2]
+    y2 = boxes[:, 1] + boxes[:, 3]
+    areas = boxes[:, 2] * boxes[:, 3]
+
+    order = np.argsort(scores)[::-1]
+    keep: list[int] = []
+    while len(order) > 0:
+        best = int(order[0])
+        keep.append(best)
+        rest = order[1:]
+        ix1 = np.maximum(x1[best], x1[rest])
+        iy1 = np.maximum(y1[best], y1[rest])
+        ix2 = np.minimum(x2[best], x2[rest])
+        iy2 = np.minimum(y2[best], y2[rest])
+        inter = np.maximum(0.0, ix2 - ix1) * np.maximum(0.0, iy2 - iy1)
+        union = areas[best] + areas[rest] - inter
+        with np.errstate(divide="ignore", invalid="ignore"):
+            iou = np.where(union > 0, inter / union, 0.0)
+        order = rest[iou <= iou_threshold]
+    return keep

@@ -1,0 +1,31 @@
+"""Synthetic multi-camera world substrate.
+
+The paper evaluates EECS on three public multi-camera pedestrian
+datasets (EPFL "lab", Graz "chap", EPFL "terrace").  Those videos are
+not redistributable and OpenCV is unavailable in this environment, so
+this package provides the closest synthetic equivalent: a ground-plane
+world populated with random-waypoint pedestrians, observed by four
+calibrated overlapping pinhole cameras, rendered into small grayscale
+frames with per-environment texture/clutter/brightness statistics.
+
+The rest of the system consumes the exact artefacts the paper's
+pipeline consumes — scored bounding boxes, frame features, ground
+truth locations and per-camera homographies — so every EECS code path
+is exercised unchanged.
+"""
+
+from repro.world.environment import Environment
+from repro.world.pedestrian import Pedestrian, RandomWaypointWalker
+from repro.world.renderer import FrameObservation, ObjectView, Renderer
+from repro.world.scene import Scene, make_camera_ring
+
+__all__ = [
+    "Environment",
+    "Pedestrian",
+    "RandomWaypointWalker",
+    "FrameObservation",
+    "ObjectView",
+    "Renderer",
+    "Scene",
+    "make_camera_ring",
+]

@@ -1,0 +1,130 @@
+"""The scene: walkable region, pedestrians, landmarks and cameras.
+
+A :class:`Scene` owns the ground-plane world state and advances it
+frame by frame.  It also carries the landmark points that EECS uses to
+build inter-camera homographies offline (Section IV-C: "a set of
+landmark points on the ground are chosen in the real world coordinate
+system").
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.camera import CameraIntrinsics, CameraPose, PinholeCamera
+from repro.world.environment import Environment
+from repro.world.pedestrian import RandomWaypointWalker, spawn_pedestrians
+
+
+class Scene:
+    """Ground-plane world with pedestrians and calibration landmarks."""
+
+    def __init__(
+        self,
+        environment: Environment,
+        num_people: int,
+        bounds: tuple[float, float, float, float] = (0.0, 0.0, 8.0, 8.0),
+        frame_rate: float = 25.0,
+        num_landmarks: int = 12,
+        seed: int | None = None,
+    ) -> None:
+        if num_people < 0:
+            raise ValueError("num_people must be non-negative")
+        self.environment = environment
+        self.bounds = bounds
+        self.frame_rate = frame_rate
+        self.frame_index = 0
+        seed = environment.seed if seed is None else seed
+        self._rng = np.random.default_rng(seed)
+        self.walkers: list[RandomWaypointWalker] = spawn_pedestrians(
+            num_people, bounds, self._rng
+        )
+        self.landmarks = self._make_landmarks(num_landmarks)
+
+    def _make_landmarks(self, count: int) -> np.ndarray:
+        """Fixed ground-plane landmark points, jittered off a grid."""
+        x_min, y_min, x_max, y_max = self.bounds
+        side = max(2, int(math.ceil(math.sqrt(count))))
+        xs = np.linspace(x_min + 0.5, x_max - 0.5, side)
+        ys = np.linspace(y_min + 0.5, y_max - 0.5, side)
+        grid = np.array([(x, y) for x in xs for y in ys])[:count]
+        jitter = self._rng.normal(scale=0.15, size=grid.shape)
+        return grid + jitter
+
+    @property
+    def pedestrians(self):
+        return [walker.pedestrian for walker in self.walkers]
+
+    def step(self) -> int:
+        """Advance the world by one frame; returns the new frame index."""
+        dt = 1.0 / self.frame_rate
+        for walker in self.walkers:
+            walker.step(dt, self._rng)
+        self.frame_index += 1
+        return self.frame_index
+
+    def run_to_frame(self, frame_index: int) -> None:
+        """Advance until ``self.frame_index == frame_index``."""
+        if frame_index < self.frame_index:
+            raise ValueError(
+                f"cannot rewind scene from frame {self.frame_index} "
+                f"to {frame_index}"
+            )
+        while self.frame_index < frame_index:
+            self.step()
+
+
+def make_camera_ring(
+    environment: Environment,
+    num_cameras: int = 4,
+    bounds: tuple[float, float, float, float] = (0.0, 0.0, 8.0, 8.0),
+    mount_height: float = 2.4,
+    setback: float = 1.5,
+    focal_px: float | None = None,
+) -> list[PinholeCamera]:
+    """Place overlapping cameras around the walkable region.
+
+    Cameras are mounted at the corners (then edge midpoints for more
+    than four), looking at the region centre with a slight downward
+    pitch — matching the overlapping four-camera geometry of the
+    evaluation datasets.
+    """
+    if num_cameras < 1:
+        raise ValueError("need at least one camera")
+    x_min, y_min, x_max, y_max = bounds
+    cx, cy = (x_min + x_max) / 2.0, (y_min + y_max) / 2.0
+    corners = [
+        (x_min - setback, y_min - setback),
+        (x_max + setback, y_min - setback),
+        (x_max + setback, y_max + setback),
+        (x_min - setback, y_max + setback),
+        (cx, y_min - setback),
+        (x_max + setback, cy),
+        (cx, y_max + setback),
+        (x_min - setback, cy),
+    ]
+    if num_cameras > len(corners):
+        raise ValueError(f"at most {len(corners)} cameras supported")
+    if focal_px is None:
+        focal_px = 0.9 * environment.width
+
+    cameras = []
+    for idx in range(num_cameras):
+        px, py = corners[idx]
+        yaw = math.atan2(cy - py, cx - px)
+        ground_dist = math.hypot(cx - px, cy - py)
+        pitch = math.atan2(mount_height - 0.9, ground_dist)
+        pose = CameraPose(x=px, y=py, z=mount_height, yaw=yaw, pitch=pitch)
+        intrinsics = CameraIntrinsics(
+            focal_px=focal_px,
+            width=environment.width,
+            height=environment.height,
+        )
+        cameras.append(
+            PinholeCamera(
+                intrinsics, pose, camera_id=f"{environment.name}-cam{idx + 1}"
+            )
+        )
+    return cameras

@@ -1,0 +1,132 @@
+"""Tests for the environmental change detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.change_detector import (
+    CusumDetector,
+    EnvironmentChangeDetector,
+    SceneStatistics,
+)
+
+
+class TestSceneStatistics:
+    def test_mean_intensity(self):
+        stats = SceneStatistics.from_frame(np.full((10, 10), 0.3))
+        assert stats.mean_intensity == pytest.approx(0.3)
+        assert stats.edge_energy == pytest.approx(0.0)
+
+    def test_edge_energy_detects_texture(self, rng):
+        flat = SceneStatistics.from_frame(np.full((20, 20), 0.5))
+        noisy = SceneStatistics.from_frame(rng.uniform(size=(20, 20)))
+        assert noisy.edge_energy > flat.edge_energy
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            SceneStatistics.from_frame(np.zeros((0, 0)))
+
+
+class TestCusum:
+    def test_no_alarm_in_control(self, rng):
+        detector = CusumDetector(0.0, 1.0, drift=0.5, threshold=8.0)
+        fired = [detector.update(v) for v in rng.normal(size=300)]
+        assert sum(fired) <= 1  # rare false alarms tolerated
+
+    def test_alarm_on_upward_shift(self, rng):
+        detector = CusumDetector(0.0, 1.0)
+        for v in rng.normal(size=50):
+            detector.update(v)
+        fired = False
+        for v in rng.normal(loc=3.0, size=30):
+            fired = fired or detector.update(v)
+        assert fired
+
+    def test_alarm_on_downward_shift(self, rng):
+        detector = CusumDetector(0.0, 1.0)
+        fired = False
+        for v in rng.normal(loc=-3.0, size=30):
+            fired = fired or detector.update(v)
+        assert fired
+
+    def test_resets_after_alarm(self, rng):
+        detector = CusumDetector(0.0, 1.0)
+        for v in rng.normal(loc=4.0, size=30):
+            if detector.update(v):
+                break
+        assert detector.statistic == 0.0
+
+    def test_small_drift_absorbed(self):
+        detector = CusumDetector(0.0, 1.0, drift=0.5, threshold=8.0)
+        # A constant 0.4-sigma offset stays below the drift slack.
+        assert not any(detector.update(0.4) for _ in range(500))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CusumDetector(0.0, 0.0)
+        with pytest.raises(ValueError):
+            CusumDetector(0.0, 1.0, threshold=0.0)
+
+
+class TestEnvironmentChangeDetector:
+    def _frames(self, rng, brightness, n):
+        return [
+            np.clip(
+                brightness + 0.02 * rng.normal(size=(24, 32)), 0, 1
+            )
+            for _ in range(n)
+        ]
+
+    def test_calibration_completes(self, rng):
+        detector = EnvironmentChangeDetector(min_calibration_frames=5)
+        done = [detector.calibrate(f) for f in self._frames(rng, 0.5, 5)]
+        assert done == [False, False, False, False, True]
+        assert detector.is_calibrated
+
+    def test_observe_before_calibration_raises(self, rng):
+        detector = EnvironmentChangeDetector()
+        with pytest.raises(RuntimeError):
+            detector.observe(np.zeros((4, 4)))
+
+    def test_calibrate_after_done_raises(self, rng):
+        detector = EnvironmentChangeDetector(min_calibration_frames=2)
+        for f in self._frames(rng, 0.5, 2):
+            detector.calibrate(f)
+        with pytest.raises(RuntimeError):
+            detector.calibrate(np.zeros((4, 4)))
+
+    def test_stable_scene_no_alarm(self, rng):
+        detector = EnvironmentChangeDetector(min_calibration_frames=10)
+        for f in self._frames(rng, 0.5, 10):
+            detector.calibrate(f)
+        alarms = sum(
+            detector.observe(f) for f in self._frames(rng, 0.5, 100)
+        )
+        assert alarms <= 1
+
+    def test_brightness_change_detected(self, rng):
+        """Lights dim: the detector fires within a few frames."""
+        detector = EnvironmentChangeDetector(min_calibration_frames=10)
+        for f in self._frames(rng, 0.7, 10):
+            detector.calibrate(f)
+        fired_at = None
+        for i, f in enumerate(self._frames(rng, 0.3, 40)):
+            if detector.observe(f):
+                fired_at = i
+                break
+        assert fired_at is not None
+        assert fired_at < 20
+
+    def test_dataset_switch_detected(self, dataset1, dataset2):
+        """Swapping the camera from the lab to the chap room fires."""
+        detector = EnvironmentChangeDetector(min_calibration_frames=8)
+        lab_cam = dataset1.camera_ids[0]
+        for record in dataset1.frames(0, 200, only_ground_truth=True):
+            if detector.calibrate(record.observation(lab_cam).image):
+                break
+        chap_cam = dataset2.camera_ids[0]
+        fired = False
+        for record in dataset2.frames(0, 400, only_ground_truth=True):
+            if detector.observe(record.observation(chap_cam).image):
+                fired = True
+                break
+        assert fired

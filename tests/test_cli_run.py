@@ -1,0 +1,25 @@
+"""Slow-path CLI tests: the deployment and report commands."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliDeployment:
+    def test_run_command_end_to_end(self, capsys):
+        """`python -m repro run` trains offline and deploys."""
+        code = main([
+            "run", "--dataset", "1", "--mode", "full",
+            "--budget", "2.0", "--seed", "7",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "humans detected" in out
+        assert "energy" in out
+        assert "cameras/round" in out
+
+    def test_fig3_command(self, capsys, runner1, dataset2):
+        code = main(["fig3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out

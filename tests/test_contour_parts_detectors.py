@@ -1,0 +1,170 @@
+"""Tests for the contour (C4-style) and part-based (LSVM-style)
+real detectors."""
+
+import numpy as np
+import pytest
+
+from repro.detection.contour_detector import (
+    ContourDetector,
+    WINDOW_PX,
+    edge_distance_transform,
+    person_silhouette,
+)
+from repro.detection.parts_detector import PART_SPECS, PartBasedDetector
+
+
+class TestSilhouette:
+    def test_points_inside_window(self):
+        pts = person_silhouette()
+        assert np.all(pts[:, 0] >= 0)
+        assert np.all(pts[:, 0] < WINDOW_PX[0])
+        assert np.all(pts[:, 1] >= 0)
+        assert np.all(pts[:, 1] < WINDOW_PX[1])
+
+    def test_density_configurable(self):
+        sparse = person_silhouette(num_points=30)
+        dense = person_silhouette(num_points=90)
+        assert len(dense) > len(sparse)
+
+
+class TestEdgeDistanceTransform:
+    def test_zero_at_edges(self):
+        img = np.zeros((20, 20))
+        img[:, 10:] = 1.0  # vertical step edge
+        dist = edge_distance_transform(img)
+        # Distance is zero on the edge column(s)...
+        assert dist[:, 9:11].min() == 0.0
+        # ... and grows away from it.
+        assert dist[5, 0] > dist[5, 7]
+
+    def test_flat_image_far_everywhere(self):
+        dist = edge_distance_transform(np.full((16, 16), 0.5))
+        assert dist.min() >= 16
+
+
+class TestContourDetector:
+    @pytest.fixture(scope="class")
+    def detector(self):
+        return ContourDetector()
+
+    def test_detects_people_above_chance(self, detector, dataset1):
+        from repro.datasets.groundtruth import ground_truth_boxes
+        from repro.detection.metrics import best_threshold
+
+        rng = np.random.default_rng(6)
+        frames = []
+        for record in dataset1.frames(1000, 1400, only_ground_truth=True):
+            obs = record.observation(dataset1.camera_ids[0])
+            frames.append(
+                (detector.detect(obs, rng, threshold=-2.5),
+                 ground_truth_boxes(obs))
+            )
+        _, counts = best_threshold(frames, num_steps=60)
+        assert counts.f_score > 0.3
+
+    def test_scores_are_negative_chamfer(self, detector, dataset1):
+        rng = np.random.default_rng(7)
+        record = dataset1.frames(1000, 1001)[0]
+        obs = record.observation(dataset1.camera_ids[0])
+        for det in detector.detect(obs, rng, threshold=-3.0):
+            assert det.score <= 0.0
+            assert det.score >= -detector.max_chamfer
+
+    def test_no_training_required(self):
+        """Contour matching is template-only: construction suffices."""
+        detector = ContourDetector(num_template_points=30)
+        assert len(detector.template) >= 20
+
+
+class TestPartSpecs:
+    def test_parts_cover_head_and_legs(self):
+        names = [name for name, _, _ in PART_SPECS]
+        assert names == ["head", "legs"]
+
+    def test_part_rows_within_window(self):
+        from repro.detection.window_detector import WINDOW_BLOCKS
+
+        for _, anchor, rows in PART_SPECS:
+            assert 0 <= anchor
+            assert anchor + rows <= WINDOW_BLOCKS[1]
+
+
+@pytest.fixture(scope="module")
+def trained_parts(dataset1):
+    rng = np.random.default_rng(5)
+    train_obs = []
+    for record in dataset1.frames(0, 500, only_ground_truth=True):
+        for cam in dataset1.camera_ids[:2]:
+            train_obs.append(record.observations[cam])
+    return PartBasedDetector.train(train_obs, rng)
+
+
+class TestPartBasedDetector:
+    def test_trains_root_and_parts(self, trained_parts):
+        assert len(trained_parts.parts) == 2
+        assert trained_parts.root_weights.shape == (15, 7, 36)
+
+    def test_detects_people(self, trained_parts, dataset1):
+        from repro.datasets.groundtruth import ground_truth_boxes
+        from repro.detection.metrics import best_threshold
+
+        rng = np.random.default_rng(6)
+        frames = []
+        for record in dataset1.frames(1000, 1400, only_ground_truth=True):
+            obs = record.observation(dataset1.camera_ids[0])
+            frames.append(
+                (trained_parts.detect(obs, rng, threshold=-1.2),
+                 ground_truth_boxes(obs))
+            )
+        _, counts = best_threshold(frames, num_steps=60)
+        assert counts.f_score > 0.45
+
+    def test_part_score_map_shapes(self, trained_parts, dataset1):
+        from repro.detection.window_detector import block_grid
+        from repro.vision.image import resize_bilinear
+
+        record = dataset1.frames(1000, 1001)[0]
+        obs = record.observation(dataset1.camera_ids[0])
+        scaled = resize_bilinear(obs.image, 320, 256)
+        blocks = block_grid(scaled)
+        for part in trained_parts.parts:
+            part_map = part.score_map(blocks)
+            # Part windows are shorter than the root window, so their
+            # dense maps are at least as tall.
+            assert part_map.shape[0] >= (
+                blocks.shape[0] - 15 + 1
+            )
+
+    def test_rejects_bad_root_shape(self, trained_parts):
+        with pytest.raises(ValueError):
+            PartBasedDetector(
+                root_weights=np.zeros((3, 3, 3)),
+                root_bias=0.0,
+                parts=trained_parts.parts,
+            )
+
+    def test_occlusion_robustness_vs_rigid(self, trained_parts, dataset1):
+        """Part-based scoring keeps more signal on occluded people than
+        the rigid template (qualitative DPM property)."""
+        from repro.datasets.groundtruth import ground_truth_boxes
+        from repro.detection.metrics import match_detections
+
+        rng = np.random.default_rng(8)
+        tp_on_occluded = 0
+        occluded_total = 0
+        for record in dataset1.frames(1000, 1800, only_ground_truth=True):
+            obs = record.observation(dataset1.camera_ids[0])
+            occluded = [
+                v for v in obs.objects if 0.3 < v.occlusion < 0.9
+            ]
+            if not occluded:
+                continue
+            occluded_total += len(occluded)
+            detections = trained_parts.detect(obs, rng, threshold=-0.25)
+            from repro.detection.base import BoundingBox
+
+            boxes = [BoundingBox.from_tuple(v.bbox) for v in occluded]
+            counts = match_detections(detections, boxes)
+            tp_on_occluded += counts.tp
+        if occluded_total >= 5:
+            assert tp_on_occluded > 0

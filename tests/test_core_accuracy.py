@@ -1,0 +1,82 @@
+"""Tests for global accuracy estimation (Section IV-C)."""
+
+import pytest
+
+from repro.core.accuracy import (
+    DesiredAccuracy,
+    GlobalAccuracy,
+    estimate_global_accuracy,
+)
+from repro.detection.base import BoundingBox, Detection
+from repro.reid.fusion import ObjectGroup
+
+
+def group(probabilities):
+    detections = [
+        Detection(
+            bbox=BoundingBox(0, 0, 10, 20),
+            score=0.5,
+            camera_id=f"c{i}",
+            frame_index=0,
+            algorithm="HOG",
+            probability=p,
+        )
+        for i, p in enumerate(probabilities)
+    ]
+    return ObjectGroup(detections=detections)
+
+
+class TestGlobalAccuracy:
+    def test_meets_requirement(self):
+        accuracy = GlobalAccuracy(num_objects=10, mean_probability=0.8)
+        assert accuracy.meets(DesiredAccuracy(8, 0.7))
+        assert not accuracy.meets(DesiredAccuracy(11, 0.7))
+        assert not accuracy.meets(DesiredAccuracy(8, 0.9))
+
+    def test_rejects_invalid_values(self):
+        with pytest.raises(ValueError):
+            GlobalAccuracy(num_objects=-1, mean_probability=0.5)
+        with pytest.raises(ValueError):
+            GlobalAccuracy(num_objects=1, mean_probability=1.5)
+
+
+class TestDesiredAccuracy:
+    def test_from_baseline_scales(self):
+        baseline = GlobalAccuracy(num_objects=100, mean_probability=0.9)
+        desired = DesiredAccuracy.from_baseline(
+            baseline, gamma_n=0.85, gamma_p=0.8
+        )
+        assert desired.min_objects == pytest.approx(85.0)
+        assert desired.min_probability == pytest.approx(0.72)
+
+    def test_rejects_bad_gamma(self):
+        baseline = GlobalAccuracy(1, 0.5)
+        with pytest.raises(ValueError):
+            DesiredAccuracy.from_baseline(baseline, gamma_n=0.0, gamma_p=0.8)
+        with pytest.raises(ValueError):
+            DesiredAccuracy.from_baseline(baseline, gamma_n=0.8, gamma_p=1.2)
+
+
+class TestEstimateGlobalAccuracy:
+    def test_counts_objects_across_frames(self):
+        frames = [
+            [group([0.8]), group([0.6])],
+            [group([0.9])],
+        ]
+        accuracy = estimate_global_accuracy(frames)
+        assert accuracy.num_objects == 3
+
+    def test_mean_probability_uses_fusion(self):
+        frames = [[group([0.5, 0.5])]]  # Eq. 6 -> 0.75
+        accuracy = estimate_global_accuracy(frames)
+        assert accuracy.mean_probability == pytest.approx(0.75)
+
+    def test_empty_frames(self):
+        accuracy = estimate_global_accuracy([[], []])
+        assert accuracy.num_objects == 0
+        assert accuracy.mean_probability == 0.0
+
+    def test_more_cameras_raise_probability(self):
+        one = estimate_global_accuracy([[group([0.6])]])
+        two = estimate_global_accuracy([[group([0.6, 0.6])]])
+        assert two.mean_probability > one.mean_probability

@@ -1,0 +1,164 @@
+"""Edge-case tests for the camera and controller network nodes."""
+
+import numpy as np
+import pytest
+
+from repro.detection.base import BoundingBox, Detection
+from repro.energy.model import ProcessingEnergyModel
+from repro.network.messages import (
+    AlgorithmAssignment,
+    AssessmentRequest,
+    DetectionMetadata,
+    EnergyReport,
+    FeatureUpload,
+)
+from repro.network.node import CameraSensorNode, _AssessmentCollector
+from repro.network.simulator import EventSimulator, Node
+
+
+class Sink(Node):
+    def __init__(self, node_id="sink"):
+        super().__init__(node_id)
+        self.received = []
+
+    def receive(self, message):
+        self.received.append(message)
+
+
+def make_camera(observations, node_id="cam"):
+    from repro.detection.detectors import make_detector_suite
+    from repro.world.environment import LAB
+
+    suite = make_detector_suite(LAB)
+    return CameraSensorNode(
+        node_id=node_id,
+        controller_id="sink",
+        observations=observations,
+        detectors=suite,
+        thresholds={"HOG": 0.5, "ACF": 2.0},
+        energy_model=ProcessingEnergyModel(width=360, height=288),
+        rng=np.random.default_rng(3),
+    )
+
+
+@pytest.fixture()
+def wired_camera(dataset1):
+    records = dataset1.frames(0, 100, only_ground_truth=True)
+    observations = [
+        r.observation(dataset1.camera_ids[0]) for r in records
+    ]
+    sim = EventSimulator()
+    sink = Sink()
+    camera = make_camera(observations)
+    sim.register_node(sink)
+    sim.register_node(camera)
+    sim.connect("cam", "sink")
+    return sim, sink, camera
+
+
+class TestCameraSensorNode:
+    def test_start_without_features_reports_energy(self, wired_camera):
+        sim, sink, camera = wired_camera
+        camera.start()
+        sim.run()
+        assert len(sink.received) == 1
+        assert isinstance(sink.received[0], EnergyReport)
+
+    def test_start_with_features_uploads(self, wired_camera):
+        sim, sink, camera = wired_camera
+        camera.start(features=np.zeros((3, 10)))
+        sim.run()
+        kinds = [type(m) for m in sink.received]
+        assert FeatureUpload in kinds
+        assert EnergyReport in kinds
+
+    def test_idle_node_processes_nothing(self, wired_camera):
+        sim, sink, camera = wired_camera
+        assert camera.active_algorithm is None
+        assert not camera.process_next_frame()
+        assert camera.frames_processed == 0
+
+    def test_assignment_activates(self, wired_camera):
+        sim, sink, camera = wired_camera
+        camera.receive(AlgorithmAssignment(
+            sender="sink", recipient="cam", algorithm="HOG",
+        ))
+        assert camera.process_next_frame()
+        sim.run()
+        assert camera.frames_processed == 1
+        assert isinstance(sink.received[-1], DetectionMetadata)
+
+    def test_stream_exhaustion(self, wired_camera):
+        sim, sink, camera = wired_camera
+        camera.receive(AlgorithmAssignment(
+            sender="sink", recipient="cam", algorithm="ACF",
+        ))
+        steps = 0
+        while camera.process_next_frame():
+            steps += 1
+        assert steps == len(camera.observations)
+        assert not camera.process_next_frame()
+
+    def test_processing_drains_battery(self, wired_camera):
+        sim, sink, camera = wired_camera
+        camera.receive(AlgorithmAssignment(
+            sender="sink", recipient="cam", algorithm="HOG",
+        ))
+        camera.process_next_frame()
+        sim.run()
+        assert camera.battery.consumed >= 1.08  # HOG processing
+
+    def test_assessment_runs_requested_algorithms(self, wired_camera):
+        sim, sink, camera = wired_camera
+        camera.receive(AssessmentRequest(
+            sender="sink", recipient="cam",
+            num_frames=2, algorithms=["HOG", "ACF"],
+        ))
+        sim.run()
+        metadata = [
+            m for m in sink.received if isinstance(m, DetectionMetadata)
+        ]
+        assert len(metadata) == 4  # 2 frames x 2 algorithms
+        assert {m.algorithm for m in metadata} == {"HOG", "ACF"}
+
+    def test_unknown_message_rejected(self, wired_camera):
+        sim, sink, camera = wired_camera
+        with pytest.raises(TypeError):
+            camera.receive(EnergyReport(sender="sink", recipient="cam"))
+
+
+class TestAssessmentCollector:
+    def _metadata(self, camera, frame, algorithm):
+        return DetectionMetadata(
+            sender=camera,
+            recipient="ctrl",
+            frame_index=frame,
+            algorithm=algorithm,
+            detections=[
+                Detection(
+                    bbox=BoundingBox(0, 0, 5, 10),
+                    score=0.5,
+                    camera_id=camera,
+                    frame_index=frame,
+                    algorithm=algorithm,
+                )
+            ],
+        )
+
+    def test_orders_frames(self):
+        collector = _AssessmentCollector(expected_frames=2)
+        collector.add(self._metadata("c1", 50, "HOG"))
+        collector.add(self._metadata("c1", 25, "HOG"))
+        assessment = collector.to_assessment()
+        assert assessment.num_frames == 2
+        # Frame 25 comes first despite arriving second.
+        assert assessment.frames[0]["c1"]["HOG"][0].frame_index == 25
+
+    def test_groups_by_camera_and_algorithm(self):
+        collector = _AssessmentCollector(expected_frames=1)
+        collector.add(self._metadata("c1", 0, "HOG"))
+        collector.add(self._metadata("c1", 0, "ACF"))
+        collector.add(self._metadata("c2", 0, "HOG"))
+        assessment = collector.to_assessment()
+        assert set(assessment.camera_ids) == {"c1", "c2"}
+        assert set(assessment.algorithms_for("c1")) == {"HOG", "ACF"}

@@ -1,0 +1,86 @@
+"""Tests for keypoint detection and SURF-style descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.vision.keypoints import (
+    DESCRIPTOR_DIM,
+    detect_keypoints,
+    extract_descriptors,
+    hessian_response,
+)
+
+
+def blob_image(centers, size=64, radius=3.0):
+    """Gaussian blobs at given centres."""
+    ys, xs = np.mgrid[0:size, 0:size]
+    img = np.zeros((size, size))
+    for (cy, cx) in centers:
+        img += np.exp(-((ys - cy) ** 2 + (xs - cx) ** 2) / (2 * radius**2))
+    return img
+
+
+class TestDetectKeypoints:
+    def test_finds_blobs(self):
+        centers = [(16, 16), (48, 48), (16, 48)]
+        kps = detect_keypoints(blob_image(centers), max_keypoints=10)
+        assert len(kps) >= 3
+        found = {
+            min(centers, key=lambda c: (kp.y - c[0]) ** 2 + (kp.x - c[1]) ** 2)
+            for kp in kps[:3]
+        }
+        assert len(found) == 3
+
+    def test_respects_max_keypoints(self, rng):
+        img = rng.uniform(size=(80, 80))
+        kps = detect_keypoints(img, max_keypoints=5)
+        assert len(kps) <= 5
+
+    def test_sorted_by_response(self, rng):
+        img = rng.uniform(size=(80, 80))
+        kps = detect_keypoints(img, max_keypoints=20)
+        responses = [kp.response for kp in kps]
+        assert responses == sorted(responses, reverse=True)
+
+    def test_empty_on_constant_image(self):
+        kps = detect_keypoints(np.full((40, 40), 0.5))
+        assert kps == []
+
+    def test_keypoints_away_from_border(self):
+        kps = detect_keypoints(blob_image([(32, 32)]), max_keypoints=50)
+        for kp in kps:
+            assert 6 <= kp.x <= 57
+            assert 6 <= kp.y <= 57
+
+
+class TestHessianResponse:
+    def test_peak_at_blob_center(self):
+        img = blob_image([(32, 32)])
+        resp = np.abs(hessian_response(img))
+        peak = np.unravel_index(np.argmax(resp), resp.shape)
+        assert abs(peak[0] - 32) <= 2
+        assert abs(peak[1] - 32) <= 2
+
+
+class TestDescriptors:
+    def test_shape(self, rng):
+        img = rng.uniform(size=(64, 64))
+        descs = extract_descriptors(img, max_keypoints=10)
+        assert descs.shape[1] == DESCRIPTOR_DIM
+        assert DESCRIPTOR_DIM == 64  # SURF's descriptor size
+
+    def test_unit_norm(self, rng):
+        img = rng.uniform(size=(64, 64))
+        descs = extract_descriptors(img, max_keypoints=10)
+        for d in descs:
+            assert np.linalg.norm(d) == pytest.approx(1.0, abs=1e-6)
+
+    def test_empty_for_flat_image(self):
+        descs = extract_descriptors(np.zeros((40, 40)))
+        assert descs.shape == (0, DESCRIPTOR_DIM)
+
+    def test_deterministic(self, rng):
+        img = rng.uniform(size=(64, 64))
+        np.testing.assert_array_equal(
+            extract_descriptors(img), extract_descriptors(img)
+        )

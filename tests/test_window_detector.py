@@ -1,0 +1,175 @@
+"""Tests for NMS and the real sliding-window HOG detector."""
+
+import numpy as np
+import pytest
+
+from repro.detection.window_detector import (
+    BLOCK_DIM,
+    LinearHogTemplate,
+    SlidingWindowHogDetector,
+    WINDOW_BLOCKS,
+    block_grid,
+)
+from repro.vision.nms import non_max_suppression
+
+
+class TestNonMaxSuppression:
+    def test_keeps_best_of_overlapping(self):
+        boxes = np.array([[0, 0, 10, 10], [1, 1, 10, 10], [50, 50, 10, 10]])
+        scores = np.array([0.9, 0.8, 0.7])
+        keep = non_max_suppression(boxes, scores, 0.3)
+        assert keep == [0, 2]
+
+    def test_keeps_all_disjoint(self):
+        boxes = np.array([[0, 0, 5, 5], [20, 0, 5, 5], [0, 20, 5, 5]])
+        scores = np.array([0.5, 0.9, 0.7])
+        keep = non_max_suppression(boxes, scores, 0.3)
+        assert sorted(keep) == [0, 1, 2]
+        assert keep[0] == 1  # highest score first
+
+    def test_empty_input(self):
+        assert non_max_suppression(np.zeros((0, 4)), np.zeros(0)) == []
+
+    def test_threshold_one_keeps_everything(self):
+        boxes = np.array([[0, 0, 10, 10], [0, 0, 10, 10]])
+        scores = np.array([0.9, 0.8])
+        assert len(non_max_suppression(boxes, scores, 1.0)) == 2
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            non_max_suppression(np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(ValueError):
+            non_max_suppression(np.zeros((2, 4)), np.zeros(3))
+        with pytest.raises(ValueError):
+            non_max_suppression(np.zeros((1, 4)), np.zeros(1), 2.0)
+
+
+class TestBlockGrid:
+    def test_shape(self, rng):
+        grid = block_grid(rng.uniform(size=(80, 96)))
+        assert grid.shape == (80 // 8 - 1, 96 // 8 - 1, BLOCK_DIM)
+
+    def test_too_small_image(self, rng):
+        grid = block_grid(rng.uniform(size=(8, 8)))
+        assert grid.shape[0] == 0 or grid.size == 0
+
+    def test_blocks_normalised(self, rng):
+        grid = block_grid(rng.uniform(size=(64, 64)))
+        norms = np.linalg.norm(grid, axis=2)
+        assert np.all(norms <= 1.0 + 1e-9)
+
+    def test_matches_hog_descriptor(self, rng):
+        """A 64x128 image's block grid flattens to its HOG vector."""
+        from repro.vision.hog import hog_descriptor
+
+        image = rng.uniform(size=(128, 64))
+        grid = block_grid(image)
+        flat = grid.reshape(-1)
+        desc = hog_descriptor(image, resize=False)
+        np.testing.assert_allclose(flat, desc, atol=1e-9)
+
+
+class TestLinearHogTemplate:
+    def test_fit_separates_classes(self, rng):
+        dim = WINDOW_BLOCKS[0] * WINDOW_BLOCKS[1] * BLOCK_DIM
+        center = rng.uniform(size=dim)
+        positives = center + 0.1 * rng.normal(size=(30, dim))
+        negatives = 0.1 * rng.normal(size=(30, dim))
+        template = LinearHogTemplate.fit(positives, negatives)
+        pos_score = (
+            np.einsum(
+                "abc,abc->",
+                positives[0].reshape(
+                    WINDOW_BLOCKS[1], WINDOW_BLOCKS[0], BLOCK_DIM
+                ),
+                template.weights,
+            )
+            + template.bias
+        )
+        neg_score = (
+            np.einsum(
+                "abc,abc->",
+                negatives[0].reshape(
+                    WINDOW_BLOCKS[1], WINDOW_BLOCKS[0], BLOCK_DIM
+                ),
+                template.weights,
+            )
+            + template.bias
+        )
+        assert pos_score > neg_score
+
+    def test_rejects_empty_classes(self, rng):
+        dim = WINDOW_BLOCKS[0] * WINDOW_BLOCKS[1] * BLOCK_DIM
+        with pytest.raises(ValueError):
+            LinearHogTemplate.fit(np.zeros((0, dim)), np.zeros((3, dim)))
+
+    def test_rejects_bad_weight_shape(self):
+        with pytest.raises(ValueError):
+            LinearHogTemplate(weights=np.zeros((2, 2, 2)), bias=0.0)
+
+    def test_score_map_empty_for_small_grid(self, rng):
+        template = LinearHogTemplate(
+            weights=np.zeros(
+                (WINDOW_BLOCKS[1], WINDOW_BLOCKS[0], BLOCK_DIM)
+            ),
+            bias=0.0,
+        )
+        assert template.score_map(np.zeros((3, 3, BLOCK_DIM))).size == 0
+
+
+@pytest.fixture(scope="module")
+def trained_detector(dataset1):
+    rng = np.random.default_rng(5)
+    train_obs = []
+    for record in dataset1.frames(0, 500, only_ground_truth=True):
+        for cam in dataset1.camera_ids[:2]:
+            train_obs.append(record.observations[cam])
+    return SlidingWindowHogDetector.train(train_obs, rng)
+
+
+class TestSlidingWindowDetector:
+    def test_detects_people_better_than_chance(
+        self, trained_detector, dataset1
+    ):
+        from repro.datasets.groundtruth import ground_truth_boxes
+        from repro.detection.metrics import best_threshold
+
+        rng = np.random.default_rng(6)
+        frames = []
+        for record in dataset1.frames(1000, 1400, only_ground_truth=True):
+            obs = record.observation(dataset1.camera_ids[0])
+            detections = trained_detector.detect(obs, rng, threshold=-0.8)
+            frames.append((detections, ground_truth_boxes(obs)))
+        _, counts = best_threshold(frames)
+        assert counts.f_score > 0.35
+        assert counts.precision > 0.35
+
+    def test_detections_in_nominal_coordinates(
+        self, trained_detector, dataset1
+    ):
+        rng = np.random.default_rng(7)
+        record = dataset1.frames(1000, 1001)[0]
+        obs = record.observation(dataset1.camera_ids[0])
+        env = dataset1.environment
+        for det in trained_detector.detect(obs, rng, threshold=-0.5):
+            assert -50 <= det.bbox.x <= env.width + 50
+            assert -50 <= det.bbox.y <= env.height + 50
+
+    def test_nms_prevents_duplicate_stacks(self, trained_detector, dataset1):
+        rng = np.random.default_rng(8)
+        record = dataset1.frames(1000, 1001)[0]
+        obs = record.observation(dataset1.camera_ids[0])
+        detections = trained_detector.detect(obs, rng, threshold=-0.5)
+        boxes = [d.bbox for d in detections]
+        for i in range(len(boxes)):
+            for j in range(i + 1, len(boxes)):
+                assert boxes[i].iou(boxes[j]) <= trained_detector.nms_iou + 0.01
+
+    def test_truth_ids_assigned_by_overlap(self, trained_detector, dataset1):
+        rng = np.random.default_rng(9)
+        record = dataset1.frames(1000, 1001)[0]
+        obs = record.observation(dataset1.camera_ids[0])
+        person_ids = {v.person_id for v in obs.objects}
+        for det in trained_detector.detect(obs, rng, threshold=-0.3):
+            if det.truth_id is not None:
+                assert det.truth_id in person_ids
