@@ -6,6 +6,7 @@ Usage::
     python -m repro table5 --frames 16 --repeats 2
     python -m repro fig3|fig4|fig5a|fig5b|fig6
     python -m repro run --dataset 1 --mode full --budget 2.0
+    python -m repro run --dataset 1 --workers 4 --perf-report
     python -m repro train --dataset 1 --save library.json
 """
 
@@ -105,7 +106,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.runner import SimulationRunner
     from repro.datasets.synthetic import make_dataset
 
-    runner = SimulationRunner(make_dataset(args.dataset), seed=args.seed)
+    runner = SimulationRunner(
+        make_dataset(args.dataset), seed=args.seed, workers=args.workers
+    )
     result = runner.run(mode=args.mode, budget=args.budget)
     print(f"mode:            {result.mode}")
     print(f"humans detected: {result.humans_detected}/{result.humans_present}")
@@ -115,6 +118,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.decisions:
         cameras = [d.num_active for d in result.decisions]
         print(f"cameras/round:   {cameras}")
+    if args.perf_report:
+        stats = runner.library.cache_stats()
+        print()
+        print(runner.timing.format_report())
+        print(
+            f"calibration cache: {stats['hits']} hits, "
+            f"{stats['misses']} misses, {stats['entries']} entries "
+            f"(hit rate {stats['hit_rate']:.0%})"
+        )
     return 0
 
 
@@ -189,6 +201,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--budget", type=float, default=2.0)
     p.add_argument("--seed", type=int, default=2017)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan per-camera detection over N processes "
+        "(identical results for any N; 1 = serial)",
+    )
+    p.add_argument(
+        "--perf-report",
+        action="store_true",
+        help="print per-section timings and cache counters after the run",
+    )
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("train", help="offline training -> JSON library")

@@ -20,7 +20,9 @@ import numpy as np
 from repro.detection.base import BoundingBox, Detection, Detector
 from repro.detection.metrics import best_threshold
 from repro.detection.scores import ScoreCalibrator
+from repro.domain_adaptation.pca import uncentered_basis
 from repro.energy.model import ProcessingEnergyModel
+from repro.perf.cache import ArrayCache
 
 
 @dataclass
@@ -144,12 +146,34 @@ class TrainingItem:
                 f"{algorithm!r}; available: {sorted(self.profiles)}"
             ) from None
 
+    def subspace(
+        self, dim: int, cache: ArrayCache | None = None
+    ) -> np.ndarray:
+        """The item's uncentered PCA basis for GFK matching.
+
+        With a cache (typically :attr:`TrainingLibrary.cache`), the
+        SVD over the feature stack runs once per (item, dim) no matter
+        how many cameras recalibrate against this item.
+        """
+        if self.features.size == 0:
+            raise ValueError(
+                f"training item {self.name!r} has no feature stack"
+            )
+        return uncentered_basis(self.features, dim, cache=cache)
+
 
 class TrainingLibrary:
-    """All training items known to the controller."""
+    """All training items known to the controller.
 
-    def __init__(self) -> None:
+    The library owns the shared calibration memo cache: every consumer
+    that derives per-item artifacts (PCA subspaces, GFK factors)
+    should route its computation through :attr:`cache` so a second
+    recalibration pass over unchanged training data costs no SVDs.
+    """
+
+    def __init__(self, cache: ArrayCache | None = None) -> None:
         self._items: dict[str, TrainingItem] = {}
+        self.cache = cache if cache is not None else ArrayCache()
 
     def add(self, item: TrainingItem) -> None:
         if item.name in self._items:
@@ -168,6 +192,14 @@ class TrainingLibrary:
     @property
     def names(self) -> list[str]:
         return list(self._items)
+
+    def subspace(self, name: str, dim: int) -> np.ndarray:
+        """A named item's PCA basis, memoised in the library cache."""
+        return self.get(name).subspace(dim, cache=self.cache)
+
+    def cache_stats(self) -> dict[str, int | float]:
+        """Hit/miss counters of the shared calibration cache."""
+        return self.cache.stats()
 
     def __len__(self) -> int:
         return len(self._items)

@@ -81,6 +81,11 @@ class EECSController:
         self.library = library
         self.matcher = matcher
         self.comparator = comparator
+        if comparator is not None:
+            # One shared memo cache: PCA/GFK artifacts and their hit
+            # counters live with the library that owns the training
+            # data, so recalibration cost is visible in one place.
+            comparator.cache = library.cache
         self.engine = SelectionEngine(matcher)
         self._cameras: dict[str, CameraState] = {}
 

@@ -18,6 +18,13 @@ Modes:
 * ``"full"`` — subset selection plus algorithm downgrade (right bars).
 * ``"fixed"`` — a caller-supplied camera->algorithm assignment with no
   assessment (the Fig. 4 trade-off points).
+
+Parallelism: every detection task draws from a generator seeded by the
+run's entropy plus its ``(frame, camera, algorithm)`` coordinates, so
+results do not depend on execution order.  With ``workers > 1`` the
+per-camera detection work of each phase fans out over a process pool;
+``workers=1`` (the default) runs the exact same tasks serially and is
+guaranteed to produce identical output.
 """
 
 from __future__ import annotations
@@ -43,6 +50,8 @@ from repro.energy.battery import Battery
 from repro.energy.communication import CommunicationEnergyModel
 from repro.energy.meter import EnergyMeter
 from repro.energy.model import ProcessingEnergyModel
+from repro.perf.parallel import parallel_map
+from repro.perf.timing import TimingReport
 from repro.reid.mahalanobis import MahalanobisMetric
 from repro.reid.matcher import CrossCameraMatcher
 
@@ -148,6 +157,22 @@ def fit_color_metric(
     )
 
 
+#: One detection work unit: everything a worker process needs, with no
+#: shared state — (detector, observation, rng seed entropy, threshold).
+_DetectTask = tuple[Detector, object, tuple[int, ...], float | None]
+
+
+def _detect_task(task: _DetectTask) -> list[Detection]:
+    """Run one detector on one observation with a task-local generator.
+
+    Module-level (picklable) and pure apart from the freshly seeded
+    generator, so serial and process-pool execution agree bit for bit.
+    """
+    detector, observation, entropy, threshold = task
+    rng = np.random.default_rng(list(entropy))
+    return detector.detect(observation, rng, threshold=threshold)
+
+
 class SimulationRunner:
     """Drives a dataset through the EECS control loop."""
 
@@ -159,20 +184,27 @@ class SimulationRunner:
         library: TrainingLibrary | None = None,
         rng: np.random.Generator | None = None,
         seed: int = 2017,
+        workers: int = 1,
+        timing: TimingReport | None = None,
     ) -> None:
         self.dataset = dataset
         self.config = config or EECSConfig()
         self._seed = seed
         self._latency_seconds = 0.0
+        self.workers = workers
+        self.timing = timing if timing is not None else TimingReport()
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         env = dataset.environment
         self.detectors = detectors or make_detector_suite(env)
         self.energy_model = ProcessingEnergyModel(
             width=env.width, height=env.height
         )
-        self.library = library or build_training_library(
-            dataset, self.detectors, self.rng
-        )
+        if library is None:
+            with self.timing.section("offline_training"):
+                library = build_training_library(
+                    dataset, self.detectors, self.rng
+                )
+        self.library = library
         color_metric = fit_color_metric(dataset, self.detectors, self.rng)
         self.matcher = CrossCameraMatcher(
             image_to_ground=dataset.ground_homographies(),
@@ -193,36 +225,84 @@ class SimulationRunner:
                 battery=Battery(),
             )
             self.controller.assign_training_item(camera_id, f"T-{camera_id}")
+        self._camera_order = {
+            camera_id: index
+            for index, camera_id in enumerate(dataset.camera_ids)
+        }
+        self._algorithm_order = {
+            name: index for index, name in enumerate(sorted(self.detectors))
+        }
+        self._run_entropy: tuple[int, ...] = (seed,)
+        self._active_workers = workers
 
     # ------------------------------------------------------------------
     # Per-frame primitives
     # ------------------------------------------------------------------
-    def _detect(
-        self,
-        record: FrameRecord,
-        camera_id: str,
-        algorithm: str,
-        meter: EnergyMeter,
-        apply_threshold: bool = True,
-    ) -> list[Detection]:
-        """Run one algorithm on one camera's frame, with accounting."""
-        observation = record.observation(camera_id)
-        detector = self.detectors[algorithm]
-        item = self.library.get(f"T-{camera_id}")
-        threshold = item.profile(algorithm).threshold if apply_threshold else None
-        detections = detector.detect(observation, self.rng, threshold=threshold)
-        self.controller.calibrate_probabilities(camera_id, detections)
+    def _task_entropy(
+        self, record: FrameRecord, camera_id: str, algorithm: str
+    ) -> tuple[int, ...]:
+        """Seed entropy of one detection task.
 
-        meter.record_processing(
-            camera_id, self.energy_model.energy_per_frame(algorithm)
+        A pure function of the run configuration and the task's
+        (frame, camera, algorithm) coordinates — never of execution
+        order — which is what makes the parallel fan-out reproduce the
+        serial run exactly.
+        """
+        return (
+            *self._run_entropy,
+            record.frame_index,
+            self._camera_order[camera_id],
+            self._algorithm_order[algorithm],
         )
-        self._latency_seconds += self.energy_model.time_per_frame(algorithm)
-        comm = self.controller.camera(camera_id).communication_model
-        meter.record_communication(
-            camera_id,
-            comm.metadata_cost(len(detections)),
-        )
-        return detections
+
+    def _batch_detections(
+        self,
+        requests: list[tuple[FrameRecord, str, str]],
+        meter: EnergyMeter,
+    ) -> dict[tuple[int, str, str], list[Detection]]:
+        """Detect every requested (frame, camera, algorithm) triple.
+
+        Detection itself fans out over the configured worker pool;
+        accounting (probability calibration, energy metering, latency)
+        runs serially afterwards in request order.
+
+        Returns detections keyed by
+        ``(frame_index, camera_id, algorithm)``.
+        """
+        tasks: list[_DetectTask] = []
+        for record, camera_id, algorithm in requests:
+            threshold = (
+                self.library.get(f"T-{camera_id}")
+                .profile(algorithm)
+                .threshold
+            )
+            tasks.append((
+                self.detectors[algorithm],
+                record.observation(camera_id),
+                self._task_entropy(record, camera_id, algorithm),
+                threshold,
+            ))
+        with self.timing.section("detection"):
+            results = parallel_map(
+                _detect_task, tasks, workers=self._active_workers
+            )
+        out: dict[tuple[int, str, str], list[Detection]] = {}
+        for (record, camera_id, algorithm), detections in zip(
+            requests, results
+        ):
+            self.controller.calibrate_probabilities(camera_id, detections)
+            meter.record_processing(
+                camera_id, self.energy_model.energy_per_frame(algorithm)
+            )
+            self._latency_seconds += self.energy_model.time_per_frame(
+                algorithm
+            )
+            comm = self.controller.camera(camera_id).communication_model
+            meter.record_communication(
+                camera_id, comm.metadata_cost(len(detections))
+            )
+            out[(record.frame_index, camera_id, algorithm)] = detections
+        return out
 
     def _affordable_algorithms(
         self, camera_id: str, budget: float | None
@@ -244,20 +324,32 @@ class SimulationRunner:
         meter: EnergyMeter,
     ) -> AssessmentData:
         """Run all affordable algorithms on the assessment frames."""
-        assessment = AssessmentData()
+        plan: list[tuple[FrameRecord, dict[str, list[str]]]] = []
+        requests: list[tuple[FrameRecord, str, str]] = []
         for record in records:
-            frame_data: dict[str, dict[str, list[Detection]]] = {}
+            per_camera: dict[str, list[str]] = {}
             for camera_id in self.dataset.camera_ids:
                 algorithms = self._affordable_algorithms(camera_id, budget)
                 if not algorithms:
                     continue
-                frame_data[camera_id] = {
-                    algorithm: self._detect(
-                        record, camera_id, algorithm, meter
-                    )
+                per_camera[camera_id] = algorithms
+                requests.extend(
+                    (record, camera_id, algorithm)
+                    for algorithm in algorithms
+                )
+            plan.append((record, per_camera))
+        detections = self._batch_detections(requests, meter)
+        assessment = AssessmentData()
+        for record, per_camera in plan:
+            assessment.frames.append({
+                camera_id: {
+                    algorithm: detections[
+                        (record.frame_index, camera_id, algorithm)
+                    ]
                     for algorithm in algorithms
                 }
-            assessment.frames.append(frame_data)
+                for camera_id, algorithms in per_camera.items()
+            })
         return assessment
 
     def _evaluate_frame(
@@ -271,15 +363,24 @@ class SimulationRunner:
 
         Returns (detected, present, fused probabilities).
         """
+        missing = [
+            (record, camera_id, algorithm)
+            for camera_id, algorithm in assignment.items()
+            if detections_cache is None or camera_id not in detections_cache
+        ]
+        computed = (
+            self._batch_detections(missing, meter) if missing else {}
+        )
         detections: list[Detection] = []
         for camera_id, algorithm in assignment.items():
             if detections_cache is not None and camera_id in detections_cache:
                 detections.extend(detections_cache[camera_id])
             else:
                 detections.extend(
-                    self._detect(record, camera_id, algorithm, meter)
+                    computed[(record.frame_index, camera_id, algorithm)]
                 )
-        groups = self.matcher.group(detections)
+        with self.timing.section("reid_grouping"):
+            groups = self.matcher.group(detections)
         detected_ids = {
             group.majority_truth_id
             for group in groups
@@ -288,6 +389,37 @@ class SimulationRunner:
         present = persons_in_any_view(record.observations)
         probabilities = [g.fused_probability for g in groups]
         return len(detected_ids & present), len(present), probabilities
+
+    def _evaluate_batch(
+        self,
+        records: list[FrameRecord],
+        assignments: list[dict[str, str]],
+        meter: EnergyMeter,
+    ) -> tuple[int, int, list[float]]:
+        """Evaluate many frames, detecting them all in one fan-out."""
+        requests = [
+            (record, camera_id, algorithm)
+            for record, assignment in zip(records, assignments)
+            for camera_id, algorithm in assignment.items()
+        ]
+        detections = self._batch_detections(requests, meter)
+        detected_total = 0
+        present_total = 0
+        probabilities: list[float] = []
+        for record, assignment in zip(records, assignments):
+            cache = {
+                camera_id: detections[
+                    (record.frame_index, camera_id, algorithm)
+                ]
+                for camera_id, algorithm in assignment.items()
+            }
+            detected, present, probs = self._evaluate_frame(
+                record, assignment, meter, detections_cache=cache
+            )
+            detected_total += detected
+            present_total += present
+            probabilities.extend(probs)
+        return detected_total, present_total, probabilities
 
     # ------------------------------------------------------------------
     # The deployment loop
@@ -299,6 +431,7 @@ class SimulationRunner:
         assignment: dict[str, str] | None = None,
         start: int | None = None,
         end: int | None = None,
+        workers: int | None = None,
     ) -> RunResult:
         """Simulate a deployment over the dataset's test segment.
 
@@ -311,20 +444,27 @@ class SimulationRunner:
                 camera -> algorithm map to run.
             start: First frame (defaults to the test segment start).
             end: One past the last frame (defaults to the dataset end).
+            workers: Override the runner's worker count for this run.
+                Any value yields identical results; ``> 1`` fans
+                detection work over a process pool.
         """
         if mode not in ("all_best", "subset", "full", "fixed"):
             raise ValueError(f"unknown mode {mode!r}")
         if mode == "fixed" and not assignment:
             raise ValueError("fixed mode needs an explicit assignment")
+        self._active_workers = self.workers if workers is None else workers
 
         # Reseed per run configuration so results are independent of
-        # how many runs preceded this one on the shared runner.
-        self.rng = np.random.default_rng([
+        # how many runs preceded this one on the shared runner.  The
+        # same entropy also seeds every per-task generator, keyed by
+        # its (frame, camera, algorithm) coordinates.
+        self._run_entropy = (
             self._seed,
             sum(mode.encode()),
             0 if start is None else start,
             0 if budget is None else int(budget * 1000),
-        ])
+        )
+        self.rng = np.random.default_rng(list(self._run_entropy))
 
         spec = self.dataset.spec
         start = spec.train_end if start is None else start
@@ -351,22 +491,20 @@ class SimulationRunner:
         )
 
         if mode == "fixed":
-            for record in records:
-                detected, present, probs = self._evaluate_frame(
-                    record, assignment, meter
+            with self.timing.section("operation"):
+                detected_total, present_total, probabilities = (
+                    self._evaluate_batch(
+                        records, [assignment] * len(records), meter
+                    )
                 )
-                detected_total += detected
-                present_total += present
-                probabilities.extend(probs)
         elif mode == "all_best":
-            for record in records:
-                frame_assignment = self._all_best_assignment(budget)
-                detected, present, probs = self._evaluate_frame(
-                    record, frame_assignment, meter
+            frame_assignments = [
+                self._all_best_assignment(budget) for _ in records
+            ]
+            with self.timing.section("operation"):
+                detected_total, present_total, probabilities = (
+                    self._evaluate_batch(records, frame_assignments, meter)
                 )
-                detected_total += detected
-                present_total += present
-                probabilities.extend(probs)
         else:
             enable_downgrade = mode == "full"
             for round_start in range(0, len(records), gt_per_round):
@@ -376,15 +514,17 @@ class SimulationRunner:
                 assess_records = round_records[:gt_per_assessment]
                 operate_records = round_records[gt_per_assessment:]
 
-                assessment = self._collect_assessment(
-                    assess_records, budget, meter
-                )
-                decision = self.controller.select(
-                    assessment,
-                    enable_subset=True,
-                    enable_downgrade=enable_downgrade,
-                    budget_overrides=budget_overrides,
-                )
+                with self.timing.section("assessment"):
+                    assessment = self._collect_assessment(
+                        assess_records, budget, meter
+                    )
+                with self.timing.section("selection"):
+                    decision = self.controller.select(
+                        assessment,
+                        enable_subset=True,
+                        enable_downgrade=enable_downgrade,
+                        budget_overrides=budget_overrides,
+                    )
                 decisions.append(decision)
 
                 # Assessment frames are also operational: the all-best
@@ -406,13 +546,15 @@ class SimulationRunner:
                     present_total += present
                     probabilities.extend(probs)
 
-                for record in operate_records:
-                    detected, present, probs = self._evaluate_frame(
-                        record, decision.assignment, meter
+                with self.timing.section("operation"):
+                    detected, present, probs = self._evaluate_batch(
+                        operate_records,
+                        [decision.assignment] * len(operate_records),
+                        meter,
                     )
-                    detected_total += detected
-                    present_total += present
-                    probabilities.extend(probs)
+                detected_total += detected
+                present_total += present
+                probabilities.extend(probs)
 
         return RunResult(
             mode=mode,

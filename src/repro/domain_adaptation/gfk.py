@@ -24,6 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.perf.cache import ArrayCache, array_token
+
 _TINY_ANGLE = 1e-7
 
 
@@ -105,7 +107,9 @@ def _flow_coefficients(
     return l1, l2, l3
 
 
-def geodesic_flow_kernel(x: np.ndarray, z: np.ndarray) -> GeodesicFlowKernel:
+def geodesic_flow_kernel(
+    x: np.ndarray, z: np.ndarray, cache: ArrayCache | None = None
+) -> GeodesicFlowKernel:
     """Build the GFK between subspace bases ``x`` and ``z``.
 
     Args:
@@ -114,6 +118,10 @@ def geodesic_flow_kernel(x: np.ndarray, z: np.ndarray) -> GeodesicFlowKernel:
         z: ``(alpha, beta)`` orthonormal basis of the incoming video's
             PCA subspace (the column counts may differ; the smaller
             one bounds the number of principal angles).
+        cache: Optional content-keyed memo cache; the SVD and factor
+            construction are skipped when the same (x, z) pair was
+            seen before.  The cached :class:`GeodesicFlowKernel` is
+            returned by reference — treat it as immutable.
 
     Returns:
         A factorised :class:`GeodesicFlowKernel`.
@@ -126,6 +134,13 @@ def geodesic_flow_kernel(x: np.ndarray, z: np.ndarray) -> GeodesicFlowKernel:
         raise ValueError(
             f"bases live in different ambient spaces: {x.shape} vs {z.shape}"
         )
+    if cache is not None:
+        key = ("gfk", array_token(x), array_token(z))
+        return cache.get_or_compute(key, lambda: _build_kernel(x, z))
+    return _build_kernel(x, z)
+
+
+def _build_kernel(x: np.ndarray, z: np.ndarray) -> GeodesicFlowKernel:
     alpha = x.shape[0]
 
     # SVD of x^T z gives U (rotation inside span(x)), the cosines, and V.

@@ -4,15 +4,23 @@ Building a :class:`SimulationRunner` involves offline training over a
 dataset's whole training segment (~5 s); experiments and benchmarks
 share runners through this cache so each dataset is trained once per
 process.
+
+Independent experiment configurations (:class:`RunSpec`) can fan out
+over a process pool via :func:`run_specs`.  Every run reseeds from its
+own configuration, so serial and parallel execution produce identical
+results; ``workers=1`` falls back to a plain in-process loop.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.config import EECSConfig
-from repro.core.runner import SimulationRunner
+from repro.core.runner import RunResult, SimulationRunner
 from repro.datasets.synthetic import make_dataset
+from repro.perf.parallel import parallel_map
 
 _RUNNERS: dict[int, SimulationRunner] = {}
 
@@ -42,3 +50,46 @@ def get_runner(
 def reset_runners() -> None:
     """Testing hook: drop all cached runners."""
     _RUNNERS.clear()
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent deployment-run configuration.
+
+    Frozen and fully picklable so a batch of specs can be shipped to
+    worker processes.  ``assignment`` (for ``"fixed"`` mode) is a
+    tuple of (camera_id, algorithm) pairs rather than a dict to keep
+    the spec hashable.
+    """
+
+    dataset_number: int
+    mode: str = "full"
+    budget: float | None = None
+    start: int | None = None
+    end: int | None = None
+    assignment: tuple[tuple[str, str], ...] | None = None
+
+
+def _execute_spec(spec: RunSpec) -> RunResult:
+    """Run one spec on the (per-process) shared runner."""
+    runner = get_runner(spec.dataset_number)
+    return runner.run(
+        mode=spec.mode,
+        budget=spec.budget,
+        assignment=dict(spec.assignment) if spec.assignment else None,
+        start=spec.start,
+        end=spec.end,
+    )
+
+
+def run_specs(
+    specs: list[RunSpec], workers: int = 1
+) -> list[RunResult]:
+    """Execute independent run configurations, optionally in parallel.
+
+    Each spec's run reseeds from its own configuration inside
+    :meth:`SimulationRunner.run`, so the results are identical
+    whatever ``workers`` is; order follows the input specs.  Worker
+    processes build (or inherit, under fork) their own runner cache.
+    """
+    return parallel_map(_execute_spec, specs, workers=workers, chunksize=1)

@@ -1,0 +1,46 @@
+"""Chunked process-pool map with a serial fallback.
+
+Per-camera detection work and independent experiment configurations
+are embarrassingly parallel; :func:`parallel_map` fans them across a
+``ProcessPoolExecutor`` while preserving input order, and degenerates
+to a plain list comprehension when ``workers <= 1`` — the serial path
+runs the exact same task function, so results are identical by
+construction.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: int = 1,
+    chunksize: int | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items``, optionally across processes.
+
+    Args:
+        fn: A picklable task function (module-level, not a closure).
+        items: Task inputs; each must be picklable when ``workers > 1``.
+        workers: Process count; ``<= 1`` runs serially in-process.
+        chunksize: Tasks per pickled batch (default: spread items
+            roughly four batches per worker).
+
+    Returns:
+        Results in input order, regardless of completion order.
+    """
+    materialised: Sequence[T] = (
+        items if isinstance(items, Sequence) else list(items)
+    )
+    if workers <= 1 or len(materialised) <= 1:
+        return [fn(item) for item in materialised]
+    if chunksize is None:
+        chunksize = max(1, len(materialised) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        return list(executor.map(fn, materialised, chunksize=chunksize))

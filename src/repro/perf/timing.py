@@ -1,0 +1,94 @@
+"""Wall-clock timing of named code sections.
+
+The runner wraps its phases (assessment, selection, detection,
+re-identification) in :meth:`TimingReport.section` context managers;
+the aggregated per-section totals back the CLI's ``--perf-report``
+flag.  The aggregator is deliberately tiny — a dict of counters — so
+leaving it enabled costs one ``perf_counter`` pair per section entry.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass
+class SectionStats:
+    """Accumulated timing of one named section."""
+
+    calls: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+class TimingReport:
+    """Per-section wall-clock aggregates."""
+
+    def __init__(self) -> None:
+        self._sections: dict[str, SectionStats] = {}
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add one timed call to a section's aggregate."""
+        stats = self._sections.setdefault(name, SectionStats())
+        stats.calls += 1
+        stats.total_seconds += seconds
+
+    def merge(self, other: "TimingReport") -> None:
+        """Fold another report's aggregates into this one."""
+        for name, stats in other._sections.items():
+            mine = self._sections.setdefault(name, SectionStats())
+            mine.calls += stats.calls
+            mine.total_seconds += stats.total_seconds
+
+    @property
+    def sections(self) -> dict[str, SectionStats]:
+        return dict(self._sections)
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        return {
+            name: {
+                "calls": stats.calls,
+                "total_seconds": stats.total_seconds,
+                "mean_seconds": stats.mean_seconds,
+            }
+            for name, stats in self._sections.items()
+        }
+
+    def format_report(self) -> str:
+        """Aligned text table, busiest section first."""
+        if not self._sections:
+            return "no timed sections"
+        rows = sorted(
+            self._sections.items(), key=lambda kv: -kv[1].total_seconds
+        )
+        name_width = max(len("section"), *(len(n) for n, _ in rows))
+        header = (
+            f"{'section':<{name_width}}  {'calls':>7}  "
+            f"{'total (s)':>10}  {'mean (ms)':>10}"
+        )
+        lines = [header, "-" * len(header)]
+        for name, stats in rows:
+            lines.append(
+                f"{name:<{name_width}}  {stats.calls:>7}  "
+                f"{stats.total_seconds:>10.3f}  "
+                f"{stats.mean_seconds * 1e3:>10.3f}"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._sections.clear()

@@ -9,6 +9,8 @@ for the domain-adaptation similarity computation.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from repro.vision.bow import BagOfWords
@@ -16,6 +18,8 @@ from repro.vision.hog import HOG_DIM, hog_descriptor
 from repro.vision.keypoints import extract_descriptors
 
 FRAME_FEATURE_DIM = HOG_DIM + 400
+
+logger = logging.getLogger(__name__)
 
 
 class FrameFeatureExtractor:
@@ -46,13 +50,33 @@ def build_vocabulary(
     vocabulary_size: int = 400,
     rng: np.random.Generator | None = None,
 ) -> BagOfWords:
-    """Fit the shared visual vocabulary from training frames."""
+    """Fit the shared visual vocabulary from training frames.
+
+    Frames that yield no keypoint descriptors are skipped with a
+    warning naming the frame index; if *every* frame comes back empty
+    the vocabulary (and the PCA pipeline downstream) cannot be built,
+    so that case raises immediately instead of failing later with an
+    opaque shape error.
+    """
     stacks = [extract_descriptors(frame) for frame in training_frames]
-    stacks = [s for s in stacks if len(s) > 0]
-    if not stacks:
-        raise ValueError("no keypoints in any vocabulary training frame")
+    kept = []
+    for index, stack in enumerate(stacks):
+        if len(stack) == 0:
+            logger.warning(
+                "vocabulary training frame %d yielded no keypoint "
+                "descriptors; skipping it",
+                index,
+            )
+        else:
+            kept.append(stack)
+    if not kept:
+        raise ValueError(
+            f"all {len(stacks)} vocabulary training frames yielded empty "
+            "descriptor stacks; cannot build a visual vocabulary "
+            "(frames may be blank or featureless)"
+        )
     bow = BagOfWords(vocabulary_size=vocabulary_size, rng=rng)
-    return bow.fit(np.vstack(stacks))
+    return bow.fit(np.vstack(kept))
 
 
 def video_features(

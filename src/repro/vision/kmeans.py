@@ -2,11 +2,18 @@
 
 Used to cluster keypoint descriptors into the 400-word visual
 vocabulary of Section V-A.
+
+The Lloyd update is vectorised (a label sort plus one grouped
+``np.add.reduceat`` pass instead of a per-centroid mask-and-mean
+loop); the loop version is kept as
+:meth:`KMeans._update_centroids_reference` for the equivalence tests.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+_ASSIGN_CHUNK = 4096
 
 
 class KMeans:
@@ -54,6 +61,36 @@ class KMeans:
             centroids[idx] = data[self._rng.choice(n, p=probs)]
         return centroids
 
+    def _update_centroids(
+        self, data: np.ndarray, labels: np.ndarray, centroids: np.ndarray
+    ) -> np.ndarray:
+        """One Lloyd update: member means, empty clusters unchanged.
+
+        Members are grouped by a stable sort on their labels and summed
+        per group in a single ``np.add.reduceat`` pass — one gather and
+        one reduction instead of ``k`` boolean mask scans.
+        """
+        counts = np.bincount(labels, minlength=self.k)
+        order = np.argsort(labels, kind="stable")
+        sorted_labels = labels[order]
+        boundaries = np.flatnonzero(np.r_[True, np.diff(sorted_labels) > 0])
+        sums = np.add.reduceat(data[order], boundaries, axis=0)
+        present = sorted_labels[boundaries]
+        new_centroids = np.array(centroids)
+        new_centroids[present] = sums / counts[present, None]
+        return new_centroids
+
+    def _update_centroids_reference(
+        self, data: np.ndarray, labels: np.ndarray, centroids: np.ndarray
+    ) -> np.ndarray:
+        """Original per-centroid loop update (equivalence baseline)."""
+        new_centroids = np.array(centroids)
+        for idx in range(self.k):
+            members = data[labels == idx]
+            if len(members) > 0:
+                new_centroids[idx] = members.mean(axis=0)
+        return new_centroids
+
     def fit(self, data: np.ndarray) -> "KMeans":
         """Cluster ``(n, d)`` data; n may be smaller than k."""
         data = np.asarray(data, dtype=float)
@@ -69,11 +106,7 @@ class KMeans:
         centroids = self._init_centroids(data)
         for iteration in range(self.max_iterations):
             labels = self._assign(data, centroids)
-            new_centroids = np.array(centroids)
-            for idx in range(self.k):
-                members = data[labels == idx]
-                if len(members) > 0:
-                    new_centroids[idx] = members.mean(axis=0)
+            new_centroids = self._update_centroids(data, labels, centroids)
             movement = float(np.linalg.norm(new_centroids - centroids))
             centroids = new_centroids
             self.iterations_run = iteration + 1
@@ -83,18 +116,28 @@ class KMeans:
         return self
 
     @staticmethod
-    def _assign(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
-        # Chunk to bound memory on large descriptor sets.
-        labels = np.empty(len(data), dtype=int)
-        chunk = 4096
-        for start in range(0, len(data), chunk):
+    def _assign(
+        data: np.ndarray, centroids: np.ndarray, chunk: int = _ASSIGN_CHUNK
+    ) -> np.ndarray:
+        """Nearest-centroid labels, chunked to bound memory.
+
+        One ``(chunk, k)`` distance buffer is allocated up front and
+        reused across chunks (the cross-term is written into it via
+        ``matmul(..., out=...)``), so assignment allocates O(chunk * k)
+        once instead of three temporaries per chunk.
+        """
+        n = len(data)
+        labels = np.empty(n, dtype=int)
+        centroid_sq = np.sum(centroids**2, axis=1)
+        buffer = np.empty((min(chunk, n), len(centroids)))
+        for start in range(0, n, chunk):
             block = data[start : start + chunk]
-            dists = (
-                np.sum(block**2, axis=1)[:, None]
-                - 2 * block @ centroids.T
-                + np.sum(centroids**2, axis=1)[None, :]
-            )
-            labels[start : start + chunk] = np.argmin(dists, axis=1)
+            dists = buffer[: len(block)]
+            np.matmul(block, centroids.T, out=dists)
+            dists *= -2.0
+            dists += np.sum(block**2, axis=1)[:, None]
+            dists += centroid_sq[None, :]
+            labels[start : start + len(block)] = np.argmin(dists, axis=1)
         return labels
 
     def predict(self, data: np.ndarray) -> np.ndarray:

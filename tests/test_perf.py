@@ -1,0 +1,121 @@
+"""The perf layer: ArrayCache, TimingReport, parallel_map."""
+
+import numpy as np
+import pytest
+
+from repro.perf.cache import ArrayCache, array_token
+from repro.perf.parallel import parallel_map
+from repro.perf.timing import TimingReport
+
+
+class TestArrayToken:
+    def test_equal_arrays_same_token(self, rng):
+        a = rng.normal(size=(5, 7))
+        b = a.copy()
+        assert array_token(a) == array_token(b)
+
+    def test_different_contents_differ(self, rng):
+        a = rng.normal(size=(5, 7))
+        b = a.copy()
+        b[2, 3] += 1e-12
+        assert array_token(a) != array_token(b)
+
+    def test_shape_and_dtype_matter(self):
+        flat = np.zeros(6)
+        assert array_token(flat) != array_token(flat.reshape(2, 3))
+        assert array_token(flat) != array_token(flat.astype(np.float32))
+
+    def test_non_contiguous_ok(self, rng):
+        a = rng.normal(size=(6, 6))
+        assert array_token(a[:, ::2]) == array_token(a[:, ::2].copy())
+
+
+class TestArrayCache:
+    def test_hit_and_miss_counters(self):
+        cache = ArrayCache()
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+            assert value == 42
+        assert len(calls) == 1
+        assert cache.misses == 1
+        assert cache.hits == 2
+        assert cache.stats()["hit_rate"] == pytest.approx(2 / 3)
+
+    def test_lru_eviction(self):
+        cache = ArrayCache(max_entries=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: 1)  # refresh a
+        cache.get_or_compute("c", lambda: 3)  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_clear_resets_counters(self):
+        cache = ArrayCache()
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("a", lambda: 1)
+        cache.clear()
+        assert cache.hits == 0 and cache.misses == 0 and len(cache) == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ArrayCache(max_entries=0)
+
+
+class TestTimingReport:
+    def test_section_aggregates(self):
+        report = TimingReport()
+        for _ in range(3):
+            with report.section("work"):
+                pass
+        stats = report.sections["work"]
+        assert stats.calls == 3
+        assert stats.total_seconds >= 0.0
+        assert "work" in report.format_report()
+
+    def test_record_and_merge(self):
+        a = TimingReport()
+        a.record("x", 1.0)
+        b = TimingReport()
+        b.record("x", 2.0)
+        b.record("y", 0.5)
+        a.merge(b)
+        assert a.sections["x"].calls == 2
+        assert a.sections["x"].total_seconds == pytest.approx(3.0)
+        assert a.sections["y"].total_seconds == pytest.approx(0.5)
+
+    def test_empty_report(self):
+        assert TimingReport().format_report() == "no timed sections"
+
+    def test_as_dict(self):
+        report = TimingReport()
+        report.record("s", 0.25)
+        d = report.as_dict()
+        assert d["s"]["calls"] == 1
+        assert d["s"]["mean_seconds"] == pytest.approx(0.25)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_fallback(self):
+        assert parallel_map(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_parallel_matches_serial_order(self):
+        items = list(range(17))
+        serial = parallel_map(_square, items, workers=1)
+        parallel = parallel_map(_square, items, workers=2)
+        assert parallel == serial
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_generator_input(self):
+        assert parallel_map(_square, (i for i in range(4)), workers=1) == [
+            0,
+            1,
+            4,
+            9,
+        ]

@@ -1,0 +1,118 @@
+"""Parallel execution must reproduce serial results exactly.
+
+Every detection task seeds its own generator from the run entropy plus
+its (frame, camera, algorithm) coordinates, so the worker fan-out is
+order-independent by construction; these tests pin that guarantee.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import RunSpec, run_specs
+
+
+def _fingerprint(result):
+    return (
+        result.humans_detected,
+        result.humans_present,
+        result.energy_joules,
+        result.processing_joules,
+        result.communication_joules,
+        result.mean_fused_probability,
+        result.processing_seconds,
+        tuple(sorted(result.energy_by_camera.items())),
+        tuple(tuple(sorted(d.assignment.items())) for d in result.decisions),
+    )
+
+
+class TestRunnerWorkers:
+    @pytest.mark.parametrize("mode", ["full", "all_best"])
+    def test_workers_match_serial(self, runner1, mode):
+        serial = runner1.run(mode=mode, budget=2.0, start=1000, end=1300)
+        parallel = runner1.run(
+            mode=mode, budget=2.0, start=1000, end=1300, workers=2
+        )
+        assert _fingerprint(parallel) == _fingerprint(serial)
+
+    def test_fixed_mode_workers_match_serial(self, runner1):
+        cameras = runner1.dataset.camera_ids[:2]
+        assignment = {camera_id: "HOG" for camera_id in cameras}
+        serial = runner1.run(
+            mode="fixed", assignment=assignment, start=1000, end=1300
+        )
+        parallel = runner1.run(
+            mode="fixed",
+            assignment=assignment,
+            start=1000,
+            end=1300,
+            workers=3,
+        )
+        assert _fingerprint(parallel) == _fingerprint(serial)
+
+    def test_repeated_serial_runs_stable(self, runner1):
+        a = runner1.run(mode="full", budget=2.0, start=1000, end=1300)
+        b = runner1.run(mode="full", budget=2.0, start=1000, end=1300)
+        assert _fingerprint(a) == _fingerprint(b)
+
+    def test_timing_sections_populated(self, runner1):
+        runner1.run(mode="full", budget=2.0, start=1000, end=1300)
+        sections = runner1.timing.sections
+        assert "detection" in sections
+        assert "selection" in sections
+        assert sections["detection"].calls > 0
+        assert sections["detection"].total_seconds > 0.0
+
+
+class TestHarnessWorkers:
+    def test_run_specs_parallel_matches_serial(self):
+        specs = [
+            RunSpec(
+                dataset_number=1,
+                mode="full",
+                budget=2.0,
+                start=1000,
+                end=1300,
+            ),
+            RunSpec(
+                dataset_number=1,
+                mode="all_best",
+                budget=2.0,
+                start=1000,
+                end=1300,
+            ),
+        ]
+        serial = run_specs(specs, workers=1)
+        parallel = run_specs(specs, workers=2)
+        assert [r.mode for r in serial] == ["full", "all_best"]
+        for a, b in zip(serial, parallel):
+            assert _fingerprint(a) == _fingerprint(b)
+
+    def test_fixed_spec_assignment_roundtrip(self):
+        spec = RunSpec(
+            dataset_number=1,
+            mode="fixed",
+            start=1000,
+            end=1200,
+            assignment=(("lab-cam1", "HOG"),),
+        )
+        results = run_specs([spec], workers=1)
+        assert len(results) == 1
+        assert results[0].mode == "fixed"
+
+
+class TestPerCameraDeterminism:
+    def test_entropy_depends_on_coordinates(self, runner1):
+        records = runner1.dataset.frames(1000, 1011, only_ground_truth=True)
+        cameras = runner1.dataset.camera_ids
+        e1 = runner1._task_entropy(records[0], cameras[0], "HOG")
+        e2 = runner1._task_entropy(records[0], cameras[1], "HOG")
+        e3 = runner1._task_entropy(records[0], cameras[0], "ACF")
+        assert len({e1, e2, e3}) == 3
+
+    def test_task_rng_reproducible(self, runner1):
+        record = runner1.dataset.frames(1000, 1001)[0]
+        camera_id = runner1.dataset.camera_ids[0]
+        entropy = runner1._task_entropy(record, camera_id, "HOG")
+        a = np.random.default_rng(list(entropy)).normal(size=4)
+        b = np.random.default_rng(list(entropy)).normal(size=4)
+        np.testing.assert_array_equal(a, b)

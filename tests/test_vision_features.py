@@ -59,3 +59,26 @@ class TestBuildVocabulary:
         frames = [np.zeros((40, 40)) for _ in range(3)]
         with pytest.raises(ValueError):
             build_vocabulary(frames, vocabulary_size=10, rng=rng)
+
+    def test_all_empty_error_names_frame_count(self, rng):
+        frames = [np.zeros((40, 40)) for _ in range(3)]
+        with pytest.raises(ValueError, match="all 3 vocabulary training"):
+            build_vocabulary(frames, vocabulary_size=10, rng=rng)
+
+    def test_empty_frame_logs_warning_with_index(self, rng, caplog):
+        frames = [
+            rng.uniform(size=(64, 64)),
+            np.zeros((40, 40)),  # featureless: dropped with a warning
+            rng.uniform(size=(64, 64)),
+        ]
+        with caplog.at_level("WARNING", logger="repro.vision.features"):
+            bow = build_vocabulary(frames, vocabulary_size=10, rng=rng)
+        assert bow.is_fitted
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("frame 1" in m for m in messages)
+
+    def test_textured_frames_log_nothing(self, rng, caplog):
+        frames = [rng.uniform(size=(64, 64)) for _ in range(2)]
+        with caplog.at_level("WARNING", logger="repro.vision.features"):
+            build_vocabulary(frames, vocabulary_size=10, rng=rng)
+        assert not caplog.records
