@@ -7,6 +7,7 @@ Usage::
     python -m repro fig3|fig4|fig5a|fig5b|fig6
     python -m repro run --dataset 1 --mode full --budget 2.0
     python -m repro run --dataset 1 --workers 4 --perf-report
+    python -m repro chaos --loss-rate 0.2 --crash 1 --seed 7
     python -m repro train --dataset 1 --save library.json
 """
 
@@ -130,6 +131,70 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.core.runner import SimulationRunner
+    from repro.datasets.synthetic import make_dataset
+    from repro.experiments.faults import (
+        ChaosSpec,
+        accuracy_retention,
+        run_chaos,
+    )
+    from repro.faults.plan import FaultPlan
+
+    runner = SimulationRunner(
+        make_dataset(args.dataset),
+        rng=np.random.default_rng(args.seed),
+    )
+    spec = ChaosSpec(
+        dataset_number=args.dataset,
+        loss_rate=args.loss_rate,
+        crash_count=args.crash,
+        seed=args.seed,
+        num_frames=args.frames,
+        budget=args.budget,
+    )
+    plan = FaultPlan.load(args.fault_plan) if args.fault_plan else None
+
+    baseline = run_chaos(
+        ChaosSpec(
+            dataset_number=args.dataset,
+            seed=args.seed,
+            num_frames=args.frames,
+            budget=args.budget,
+        ),
+        runner,
+    )
+    result = run_chaos(spec, runner, plan=plan)
+
+    print(f"zero-fault:      {baseline.humans_detected}/"
+          f"{baseline.humans_present} detected "
+          f"(rate {baseline.detection_rate:.3f})")
+    print(f"under faults:    {result.humans_detected}/"
+          f"{result.humans_present} detected "
+          f"(rate {result.detection_rate:.3f})")
+    print(f"retention:       {accuracy_retention(result, baseline):.3f}")
+    print(f"messages:        {result.delivered_messages} delivered, "
+          f"{result.dropped_messages} dropped, "
+          f"{result.retransmissions} retransmitted, "
+          f"{result.duplicates_dropped} duplicates suppressed, "
+          f"{result.gave_up} gave up")
+    print(f"radio+cpu:       {result.total_radio_joules:.2f} J drawn "
+          f"(zero-fault {baseline.total_radio_joules:.2f} J)")
+    print(f"selections:      {result.num_decisions} "
+          f"(final assignment {result.final_assignment})")
+    if result.fault_events or result.recovery_events:
+        print("events:")
+        timeline = sorted(
+            result.fault_events + result.recovery_events,
+            key=lambda e: e.time_s,
+        )
+        for event in timeline:
+            detail = f" — {event.detail}" if event.detail else ""
+            print(f"  t={event.time_s:7.2f}s  {event.kind:<20} "
+                  f"{event.subject}{detail}")
+    return 0
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.core.runner import build_training_library
     from repro.datasets.synthetic import make_dataset
@@ -214,6 +279,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-section timings and cache counters after the run",
     )
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injected networked deployment (loss, crashes)",
+    )
+    p.add_argument("--dataset", type=int, default=1, choices=(1, 2, 3, 4))
+    p.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.0,
+        help="uniform per-transmission packet loss on every link",
+    )
+    p.add_argument(
+        "--crash",
+        type=int,
+        default=0,
+        help="number of cameras to crash one third into the run",
+    )
+    p.add_argument(
+        "--fault-plan",
+        default=None,
+        help="JSON FaultPlan file (overrides --loss-rate/--crash)",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--frames", type=int, default=18)
+    p.add_argument("--budget", type=float, default=2.0)
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("train", help="offline training -> JSON library")
     p.add_argument("--dataset", type=int, default=1, choices=(1, 2, 3, 4))

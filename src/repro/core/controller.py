@@ -30,7 +30,12 @@ from repro.reid.matcher import CrossCameraMatcher
 
 @dataclass
 class CameraState:
-    """Controller-side record of one registered camera sensor."""
+    """Controller-side record of one registered camera sensor.
+
+    ``alive`` is the controller's *belief* about the camera (driven by
+    heartbeat liveness, not ground truth): dead cameras are excluded
+    from selection until they are heard from again.
+    """
 
     camera_id: str
     processing_model: ProcessingEnergyModel
@@ -38,6 +43,7 @@ class CameraState:
     battery: Battery
     matched_item: str | None = None
     match_similarity: float = float("nan")
+    alive: bool = True
 
 
 @dataclass
@@ -113,6 +119,18 @@ class EECSController:
     @property
     def camera_ids(self) -> list[str]:
         return list(self._cameras)
+
+    @property
+    def alive_camera_ids(self) -> list[str]:
+        return [c for c, s in self._cameras.items() if s.alive]
+
+    def mark_camera_dead(self, camera_id: str) -> None:
+        """Exclude a camera from selection (liveness declared it dead)."""
+        self.camera(camera_id).alive = False
+
+    def mark_camera_alive(self, camera_id: str) -> None:
+        """Re-admit a camera to selection (it was heard from again)."""
+        self.camera(camera_id).alive = True
 
     def camera(self, camera_id: str) -> CameraState:
         try:
@@ -223,6 +241,8 @@ class EECSController:
         overrides = budget_overrides or {}
         plans = []
         for camera_id in self.camera_ids:
+            if not self._cameras[camera_id].alive:
+                continue
             plan = self.camera_plan(camera_id, overrides.get(camera_id))
             if plan is None:
                 continue

@@ -64,12 +64,22 @@ class Battery:
 
     def draw(self, joules: float) -> float:
         """Consume energy; returns the amount actually drawn (clamped
-        at the residual capacity)."""
+        at the residual capacity).
+
+        Overdraw never goes negative: a draw larger than the residual
+        depletes the battery exactly, and callers can tell from the
+        shortfall in the return value (and from :attr:`is_depleted`)
+        that the node must stop processing and transmitting.
+        """
         if joules < 0:
             raise ValueError("cannot draw negative energy")
         drawn = min(joules, self.residual)
         self._consumed += drawn
         return drawn
+
+    def deplete(self) -> float:
+        """Drain whatever is left (premature-exhaustion injection)."""
+        return self.draw(self.residual)
 
     def budget_for(
         self, operation_time_s: float, seconds_per_frame: float

@@ -1,0 +1,295 @@
+"""Chaos experiment: a networked deployment under injected faults.
+
+Where :class:`~repro.core.runner.SimulationRunner` drives the EECS
+loop as an idealised frame loop, this experiment runs it over the
+discrete-event network — reliable transport, heartbeats, liveness —
+and lets a :class:`~repro.faults.plan.FaultPlan` break things: lossy
+links force retransmissions (paid in Joules), crashed cameras go
+silent until the controller declares them dead and re-selects over the
+survivors.
+
+The headline metric is *accuracy retention*: the faulty run's
+operational detection rate divided by the zero-fault run's, on the
+same frames and seed.  The paper's claim that selection keeps accuracy
+near the γ-scaled baseline only means something in deployment if it
+also survives the failure modes its battery-and-wireless premise
+implies.
+
+Everything is seeded — the plan carries the loss/crash randomness, the
+cameras derive their detection rng from their node id — so a chaos
+run is reproducible from its :class:`ChaosSpec` alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.controller import EECSController
+from repro.core.runner import SimulationRunner
+from repro.datasets.groundtruth import persons_in_any_view
+from repro.energy.battery import Battery
+from repro.energy.communication import CommunicationEnergyModel
+from repro.faults.events import FaultEvent, RecoveryEvent
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import Crash, FaultPlan
+from repro.network.node import CameraSensorNode, ControllerNode
+from repro.network.simulator import EventSimulator
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One fault-injected deployment configuration.
+
+    Attributes:
+        dataset_number: Which synthetic dataset to deploy on.
+        loss_rate: Uniform per-transmission packet loss on every link.
+        crash_count: How many cameras crash (in camera-id order) at
+            ``crash_at_s``.
+        seed: Seeds the fault injector's rng.
+        num_frames: Ground-truth frames in the deployment window; the
+            first ``assessment_frames`` feed the assessment round and
+            the rest are operational.
+        assessment_frames: Frames per accuracy assessment.
+        budget: Per-frame energy budget applied to every camera.
+        start: First dataset frame of the window.
+        seconds_per_frame: Operational cadence (paper: one frame/2 s).
+        heartbeat_s: Camera liveness beacon interval.
+        miss_threshold: Heartbeats missed before a camera is declared
+            dead.
+        crash_at_s: When the crashed cameras die (``None`` = one third
+            into the horizon, after the assignment is in force).
+        reboot_s: Optional reboot time for the crashed cameras.
+        assessment_timeout_s: Deadline for closing an assessment round
+            on partial data.
+    """
+
+    dataset_number: int = 1
+    loss_rate: float = 0.0
+    crash_count: int = 0
+    seed: int = 7
+    num_frames: int = 18
+    assessment_frames: int = 2
+    budget: float = 2.0
+    start: int = 1000
+    seconds_per_frame: float = 2.0
+    heartbeat_s: float = 2.0
+    miss_threshold: int = 3
+    crash_at_s: float | None = None
+    reboot_s: float | None = None
+    assessment_timeout_s: float = 5.0
+
+    @property
+    def horizon_s(self) -> float:
+        """Simulated duration: one tick per frame plus start-up slack."""
+        return self.seconds_per_frame * (self.num_frames + 4)
+
+    def build_plan(self, camera_ids: list[str]) -> FaultPlan:
+        """The default plan: uniform loss plus mid-run crashes."""
+        plan = FaultPlan.uniform_loss(self.loss_rate, seed=self.seed)
+        crash_at = (
+            self.crash_at_s
+            if self.crash_at_s is not None
+            else self.horizon_s / 3.0
+        )
+        crashes = tuple(
+            Crash(camera_id, at_s=crash_at, reboot_s=self.reboot_s)
+            for camera_id in camera_ids[: self.crash_count]
+        )
+        return plan.with_crashes(*crashes)
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one fault-injected deployment run."""
+
+    spec: ChaosSpec
+    humans_detected: int
+    humans_present: int
+    delivered_messages: int
+    dropped_messages: int
+    retransmissions: int
+    gave_up: int
+    duplicates_dropped: int
+    suppressed_sends: int
+    battery_by_camera: dict[str, float]
+    num_decisions: int
+    final_assignment: dict[str, str]
+    fault_events: list[FaultEvent] = field(default_factory=list)
+    recovery_events: list[RecoveryEvent] = field(default_factory=list)
+    simulated_s: float = 0.0
+
+    @property
+    def detection_rate(self) -> float:
+        if self.humans_present == 0:
+            return 0.0
+        return self.humans_detected / self.humans_present
+
+    @property
+    def total_radio_joules(self) -> float:
+        return sum(self.battery_by_camera.values())
+
+    def fault_kinds(self) -> list[str]:
+        return [e.kind for e in self.fault_events]
+
+
+def accuracy_retention(faulty: ChaosResult, baseline: ChaosResult) -> float:
+    """Fraction of the zero-fault detection rate retained under faults."""
+    if baseline.detection_rate == 0.0:
+        return 0.0
+    return faulty.detection_rate / baseline.detection_rate
+
+
+def run_chaos(
+    spec: ChaosSpec,
+    runner: SimulationRunner,
+    plan: FaultPlan | None = None,
+) -> ChaosResult:
+    """Deploy ``runner``'s trained fleet over the event network under
+    ``spec``'s faults and measure what the controller actually saw.
+
+    The shared runner is only read (library, matcher, detectors); the
+    run builds its own controller and batteries, so cached runners stay
+    pristine for other experiments.
+    """
+    dataset = runner.dataset
+    env = dataset.environment
+    end = spec.start + spec.num_frames * dataset.spec.gt_every
+    records = dataset.frames(spec.start, end, only_ground_truth=True)
+    records = records[: spec.num_frames]
+
+    controller = EECSController(runner.config, runner.library, runner.matcher)
+    for camera_id in dataset.camera_ids:
+        controller.register_camera(
+            camera_id,
+            processing_model=runner.energy_model,
+            communication_model=CommunicationEnergyModel(
+                width=env.width, height=env.height
+            ),
+            battery=Battery(),
+        )
+        controller.assign_training_item(camera_id, f"T-{camera_id}")
+
+    sim = EventSimulator()
+    injector = FaultInjector(
+        plan if plan is not None else spec.build_plan(dataset.camera_ids)
+    )
+    controller_node = ControllerNode(
+        "controller",
+        controller,
+        assessment_frames=spec.assessment_frames,
+        budget=spec.budget,
+        reliable=True,
+        fault_log=injector.log,
+    )
+    sim.register_node(controller_node)
+
+    cameras: dict[str, CameraSensorNode] = {}
+    for camera_id in dataset.camera_ids:
+        item = runner.library.get(f"T-{camera_id}")
+        node = CameraSensorNode(
+            node_id=camera_id,
+            controller_id="controller",
+            observations=[r.observation(camera_id) for r in records],
+            detectors=runner.detectors,
+            thresholds={n: p.threshold for n, p in item.profiles.items()},
+            energy_model=runner.energy_model,
+            reliable=True,
+        )
+        cameras[camera_id] = node
+        sim.register_node(node)
+        sim.connect(camera_id, "controller")
+    injector.attach(sim)
+
+    horizon = spec.horizon_s
+    for node in cameras.values():
+        node.start()
+        node.start_heartbeats(spec.heartbeat_s, until=horizon)
+        node.start_operation(spec.seconds_per_frame, until=horizon)
+    controller_node.enable_liveness(
+        spec.heartbeat_s,
+        miss_threshold=spec.miss_threshold,
+        until=horizon,
+    )
+
+    camera_algorithms = {}
+    for camera_id in dataset.camera_ids:
+        cam_plan = controller.camera_plan(camera_id, spec.budget)
+        if cam_plan is None:
+            continue
+        camera_algorithms[camera_id] = sorted(
+            p.algorithm
+            for p in cam_plan.item.profiles.values()
+            if p.energy_per_frame + cam_plan.communication_cost
+            <= cam_plan.budget
+        )
+    controller_node.start_assessment(
+        camera_algorithms, timeout_s=spec.assessment_timeout_s
+    )
+
+    sim.run(until=horizon + spec.seconds_per_frame)
+
+    # Accuracy over the operational window, measured on what the
+    # controller actually received: metadata from crashed cameras or
+    # lost beyond the retry cap never arrives, and that is the point.
+    by_frame: dict[int, list] = {}
+    for metadata in controller_node.operational_metadata:
+        by_frame.setdefault(metadata.frame_index, []).extend(
+            metadata.detections
+        )
+    detected_total = 0
+    present_total = 0
+    for idx, record in enumerate(records):
+        if idx < spec.assessment_frames:
+            continue
+        present = persons_in_any_view(record.observations)
+        present_total += len(present)
+        groups = runner.matcher.group(by_frame.get(record.frame_index, []))
+        detected_ids = {
+            g.majority_truth_id for g in groups if g.is_true_object
+        }
+        detected_total += len(detected_ids & present)
+
+    transports = [controller_node.transport] + [
+        c.transport for c in cameras.values()
+    ]
+    return ChaosResult(
+        spec=spec,
+        humans_detected=detected_total,
+        humans_present=present_total,
+        delivered_messages=sim.delivered_messages,
+        dropped_messages=sim.dropped_messages,
+        retransmissions=sum(t.retransmissions for t in transports),
+        gave_up=sum(t.gave_up for t in transports),
+        duplicates_dropped=sum(t.duplicates_dropped for t in transports),
+        suppressed_sends=sum(c.suppressed_sends for c in cameras.values()),
+        battery_by_camera={
+            camera_id: node.battery.consumed
+            for camera_id, node in cameras.items()
+        },
+        num_decisions=len(controller_node.decisions),
+        final_assignment=(
+            dict(controller_node.decisions[-1].assignment)
+            if controller_node.decisions
+            else {}
+        ),
+        fault_events=list(injector.log.faults),
+        recovery_events=list(injector.log.recoveries),
+        simulated_s=sim.now,
+    )
+
+
+def chaos_sweep(
+    runner: SimulationRunner,
+    loss_rates: tuple[float, ...] = (0.0, 0.2),
+    crash_counts: tuple[int, ...] = (0, 1),
+    **spec_kwargs,
+) -> list[tuple[ChaosSpec, ChaosResult]]:
+    """Loss-rate x crash-count grid, sharing one trained runner."""
+    results = []
+    for loss_rate in loss_rates:
+        for crash_count in crash_counts:
+            spec = ChaosSpec(
+                loss_rate=loss_rate, crash_count=crash_count, **spec_kwargs
+            )
+            results.append((spec, run_chaos(spec, runner)))
+    return results

@@ -1,0 +1,36 @@
+"""Fault injection and fault-tolerance support.
+
+The paper's deployment is battery-operated cameras on wireless links;
+this package supplies the failure model: declarative seeded
+:class:`FaultPlan` schedules (packet loss, latency spikes, partitions,
+crashes, battery exhaustion), the :class:`FaultInjector` that compiles
+them onto the event simulator, and the structured
+:class:`FaultEvent`/:class:`RecoveryEvent` records every layer appends
+to.  Reliable delivery and controller-side liveness live with the
+network nodes (:mod:`repro.network.reliability`,
+:mod:`repro.network.node`); the chaos experiment that sweeps loss rate
+against crash count is :mod:`repro.experiments.faults`.
+"""
+
+from repro.faults.events import FaultEvent, FaultLog, RecoveryEvent
+from repro.faults.injector import FaultInjector, SendVerdict
+from repro.faults.plan import (
+    BatteryFault,
+    Crash,
+    FaultPlan,
+    LinkFault,
+    Partition,
+)
+
+__all__ = [
+    "BatteryFault",
+    "Crash",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLog",
+    "FaultPlan",
+    "LinkFault",
+    "Partition",
+    "RecoveryEvent",
+    "SendVerdict",
+]

@@ -1,0 +1,171 @@
+"""Compiles a :class:`FaultPlan` onto a running event simulator.
+
+The injector owns the *only* random stream of the fault subsystem
+(seeded from the plan), so two runs with the same plan, topology and
+workload see bit-identical faults.  It plugs into
+:class:`~repro.network.simulator.EventSimulator` through two seams:
+
+* scheduled events — crashes, reboots, battery exhaustion and link
+  partitions are pushed into the simulator's queue when the injector
+  is attached;
+* the per-transmission hook :meth:`on_send` — the simulator consults
+  it for every message to decide stochastic drop and extra latency.
+
+An injector built from an empty plan never touches the rng and never
+drops or delays anything, which is what keeps zero-fault runs
+bit-identical to a simulator without an injector at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.faults.events import FaultLog
+from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.messages import Message
+    from repro.network.simulator import EventSimulator
+
+
+@dataclass(frozen=True)
+class SendVerdict:
+    """The injector's ruling on one transmission."""
+
+    drop: bool = False
+    extra_latency_s: float = 0.0
+
+
+_CLEAN = SendVerdict()
+
+
+class FaultInjector:
+    """Injects a :class:`FaultPlan` into an :class:`EventSimulator`."""
+
+    def __init__(self, plan: FaultPlan, seed: int | None = None) -> None:
+        self.plan = plan
+        self.rng = np.random.default_rng(
+            plan.seed if seed is None else seed
+        )
+        self.log = FaultLog()
+        self.messages_lost = 0
+        self._sim: "EventSimulator | None" = None
+
+    # ------------------------------------------------------------------
+    # Attachment: schedule the deterministic part of the plan
+    # ------------------------------------------------------------------
+    def attach(self, sim: "EventSimulator") -> None:
+        """Register with ``sim`` and schedule all planned faults.
+
+        Times in the plan are absolute simulated times; attaching after
+        ``sim.now`` has advanced past a fault time raises.
+        """
+        if self._sim is not None:
+            raise RuntimeError("injector is already attached")
+        self._sim = sim
+        sim.fault_injector = self
+        for crash in self.plan.crashes:
+            sim.schedule(
+                crash.at_s - sim.now, lambda c=crash: self._crash(c)
+            )
+            if crash.reboot_s is not None:
+                sim.schedule(
+                    crash.reboot_s - sim.now, lambda c=crash: self._reboot(c)
+                )
+        for fault in self.plan.battery_faults:
+            sim.schedule(
+                fault.at_s - sim.now, lambda f=fault: self._drain(f)
+            )
+        for part in self.plan.partitions:
+            sim.schedule(
+                part.start_s - sim.now, lambda p=part: self._sever(p)
+            )
+            if part.end_s != float("inf"):
+                sim.schedule(
+                    part.end_s - sim.now, lambda p=part: self._heal(p)
+                )
+
+    # ------------------------------------------------------------------
+    # Scheduled fault callbacks
+    # ------------------------------------------------------------------
+    def _crash(self, crash) -> None:
+        sim = self._require_sim()
+        sim.set_node_down(crash.node_id)
+        node = sim.node(crash.node_id)
+        if hasattr(node, "crash"):
+            node.crash()
+        self.log.fault(sim.now, "node_crash", crash.node_id)
+
+    def _reboot(self, crash) -> None:
+        sim = self._require_sim()
+        sim.set_node_up(crash.node_id)
+        node = sim.node(crash.node_id)
+        if hasattr(node, "reboot"):
+            node.reboot()
+        self.log.recovery(sim.now, "node_reboot", crash.node_id)
+
+    def _drain(self, fault) -> None:
+        sim = self._require_sim()
+        node = sim.node(fault.node_id)
+        battery = getattr(node, "battery", None)
+        if battery is None:
+            raise TypeError(
+                f"node {fault.node_id!r} has no battery to drain"
+            )
+        drained = battery.draw(battery.residual * fault.fraction)
+        kind = (
+            "battery_exhausted" if battery.is_depleted else "battery_drained"
+        )
+        self.log.fault(
+            sim.now, kind, fault.node_id, f"drained {drained:.1f} J"
+        )
+
+    def _sever(self, part) -> None:
+        sim = self._require_sim()
+        sim.disconnect(part.node_a, part.node_b)
+        self.log.fault(
+            sim.now, "link_partition", f"{part.node_a}<->{part.node_b}"
+        )
+
+    def _heal(self, part) -> None:
+        sim = self._require_sim()
+        sim.reconnect(part.node_a, part.node_b)
+        self.log.recovery(
+            sim.now, "link_restored", f"{part.node_a}<->{part.node_b}"
+        )
+
+    # ------------------------------------------------------------------
+    # Per-transmission hook
+    # ------------------------------------------------------------------
+    def on_send(self, message: "Message") -> SendVerdict:
+        """Rule on one transmission at the current simulated time.
+
+        Consumes one rng draw per *matching* link fault with a nonzero
+        loss rate — an empty or non-matching plan leaves the stream
+        untouched.
+        """
+        sim = self._require_sim()
+        active = [
+            f
+            for f in self.plan.link_faults
+            if f.matches(message.sender, message.recipient, sim.now)
+        ]
+        if not active:
+            return _CLEAN
+        drop = False
+        extra = 0.0
+        for fault in active:
+            extra += fault.extra_latency_s
+            if fault.loss_rate > 0.0 and not drop:
+                drop = bool(self.rng.random() < fault.loss_rate)
+        if drop:
+            self.messages_lost += 1
+        return SendVerdict(drop=drop, extra_latency_s=extra)
+
+    def _require_sim(self) -> "EventSimulator":
+        if self._sim is None:
+            raise RuntimeError("injector is not attached to a simulator")
+        return self._sim

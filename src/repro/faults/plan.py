@@ -1,0 +1,190 @@
+"""Declarative, seeded fault schedules.
+
+A :class:`FaultPlan` is a pure description — *which* links lose
+packets, *when* nodes crash or batteries die — with no behaviour of
+its own; the :class:`~repro.faults.injector.FaultInjector` compiles it
+onto an :class:`~repro.network.simulator.EventSimulator`.  Plans are
+frozen, JSON round-trippable (the CLI's ``--fault-plan`` flag loads
+one from disk) and carry their own seed, so a chaos run is fully
+reproducible from the plan file alone.
+
+The wildcard node id ``"*"`` in a :class:`LinkFault` matches any
+endpoint, which is how a uniform loss rate across every link is
+written.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+#: Matches any node id in a LinkFault endpoint.
+WILDCARD = "*"
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Degrade a link: random loss and/or a latency spike.
+
+    Active on transmissions whose (sender, recipient) pair matches
+    ``node_a``/``node_b`` in either direction and whose send time lies
+    in ``[start_s, end_s)``.
+    """
+
+    node_a: str = WILDCARD
+    node_b: str = WILDCARD
+    loss_rate: float = 0.0
+    extra_latency_s: float = 0.0
+    start_s: float = 0.0
+    end_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
+        if self.extra_latency_s < 0:
+            raise ValueError("extra_latency_s cannot be negative")
+        if self.end_s < self.start_s:
+            raise ValueError("end_s must be >= start_s")
+
+    def matches(self, sender: str, recipient: str, time_s: float) -> bool:
+        if not self.start_s <= time_s < self.end_s:
+            return False
+        pair = {self.node_a, self.node_b}
+        if WILDCARD in pair:
+            named = pair - {WILDCARD}
+            return not named or bool(named & {sender, recipient})
+        return pair == {sender, recipient}
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Sever a link completely for a time window."""
+
+    node_a: str
+    node_b: str
+    start_s: float
+    end_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ValueError("partition must have positive duration")
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Take a node down at ``at_s``; optionally reboot it later."""
+
+    node_id: str
+    at_s: float
+    reboot_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.reboot_s is not None and self.reboot_s <= self.at_s:
+            raise ValueError("reboot_s must be after at_s")
+
+
+@dataclass(frozen=True)
+class BatteryFault:
+    """Drain a fraction of a node's residual battery at ``at_s``.
+
+    ``fraction=1.0`` is premature exhaustion: the node keeps running
+    its CPU-free logic but can no longer process or transmit.
+    """
+
+    node_id: str
+    at_s: float
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded chaos schedule."""
+
+    seed: int = 0
+    link_faults: tuple[LinkFault, ...] = ()
+    partitions: tuple[Partition, ...] = ()
+    crashes: tuple[Crash, ...] = ()
+    battery_faults: tuple[BatteryFault, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.link_faults
+            or self.partitions
+            or self.crashes
+            or self.battery_faults
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform_loss(cls, loss_rate: float, seed: int = 0) -> "FaultPlan":
+        """Every link drops packets independently at ``loss_rate``."""
+        if loss_rate <= 0.0:
+            return cls(seed=seed)
+        return cls(seed=seed, link_faults=(LinkFault(loss_rate=loss_rate),))
+
+    def with_crashes(self, *crashes: Crash) -> "FaultPlan":
+        return FaultPlan(
+            seed=self.seed,
+            link_faults=self.link_faults,
+            partitions=self.partitions,
+            crashes=self.crashes + tuple(crashes),
+            battery_faults=self.battery_faults,
+        )
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        def scrub(items):
+            out = []
+            for item in items:
+                d = asdict(item)
+                for key, value in list(d.items()):
+                    if value == math.inf:
+                        d[key] = None
+                out.append(d)
+            return out
+
+        return {
+            "seed": self.seed,
+            "link_faults": scrub(self.link_faults),
+            "partitions": scrub(self.partitions),
+            "crashes": [asdict(c) for c in self.crashes],
+            "battery_faults": [asdict(b) for b in self.battery_faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        def revive(klass, items, inf_keys=()):
+            out = []
+            for d in items or ():
+                d = dict(d)
+                for key in inf_keys:
+                    if d.get(key) is None:
+                        d.pop(key, None)
+                out.append(klass(**d))
+            return tuple(out)
+
+        return cls(
+            seed=int(data.get("seed", 0)),
+            link_faults=revive(LinkFault, data.get("link_faults"), ("end_s",)),
+            partitions=revive(Partition, data.get("partitions"), ("end_s",)),
+            crashes=revive(Crash, data.get("crashes")),
+            battery_faults=revive(BatteryFault, data.get("battery_faults")),
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -10,24 +10,31 @@ so coordination overheads are accounted in both time and Joules.
 
 from repro.network.link import WirelessLink
 from repro.network.messages import (
+    Ack,
     AlgorithmAssignment,
     DetectionMetadata,
     EnergyReport,
     FeatureUpload,
+    Heartbeat,
     Message,
 )
 from repro.network.node import CameraSensorNode, ControllerNode, Node
+from repro.network.reliability import ReliableTransport, node_seed
 from repro.network.simulator import EventSimulator
 
 __all__ = [
     "WirelessLink",
+    "Ack",
     "AlgorithmAssignment",
     "DetectionMetadata",
     "EnergyReport",
     "FeatureUpload",
+    "Heartbeat",
     "Message",
     "CameraSensorNode",
     "ControllerNode",
     "Node",
+    "ReliableTransport",
+    "node_seed",
     "EventSimulator",
 ]

@@ -17,6 +17,10 @@ FEATURE_BYTES_PER_FRAME = 16720
 METADATA_BYTES_PER_OBJECT = 172
 
 
+#: Sequence number of a message sent outside any reliable transport.
+UNSEQUENCED = -1
+
+
 @dataclass
 class Message:
     """Base class for network messages.
@@ -24,10 +28,14 @@ class Message:
     Attributes:
         sender: Node id of the originator.
         recipient: Node id of the destination.
+        seq: Per-sender sequence number stamped by a reliable
+            transport; ``UNSEQUENCED`` (-1) for fire-and-forget sends.
+            The 64-byte header already accounts for it.
     """
 
     sender: str
     recipient: str
+    seq: int = UNSEQUENCED
 
     @property
     def size_bytes(self) -> int:
@@ -90,6 +98,33 @@ class AlgorithmAssignment(Message):
     @property
     def size_bytes(self) -> int:
         return 64 + 16
+
+
+@dataclass
+class Ack(Message):
+    """Transport-level acknowledgement of one sequenced message.
+
+    Acks are fire-and-forget (never themselves acked): a lost ack just
+    triggers a retransmission that the receiver deduplicates.
+    """
+
+    acked_seq: int = UNSEQUENCED
+    acked_kind: str = ""
+
+    @property
+    def size_bytes(self) -> int:
+        return 64  # header-only
+
+
+@dataclass
+class Heartbeat(Message):
+    """Periodic liveness beacon from a camera to the controller."""
+
+    residual_joules: float = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        return 64 + 8
 
 
 @dataclass

@@ -5,6 +5,25 @@ simulator: sensors upload features and energy reports at startup, the
 controller requests assessments, sensors stream detection metadata,
 and the controller pushes algorithm assignments back.  Energy for both
 processing and transmission is drawn from each sensor's battery.
+
+Fault tolerance (all opt-in; with ``reliable=False`` and no heartbeats
+the behaviour is identical to the fault-free protocol):
+
+* ``reliable=True`` routes protocol messages through a
+  :class:`~repro.network.reliability.ReliableTransport` — sequence
+  numbers, acks, timeout/backoff retransmission (each attempt charged
+  to the sender's battery) and duplicate suppression;
+* cameras emit periodic :class:`~repro.network.messages.Heartbeat`
+  beacons (:meth:`CameraSensorNode.start_heartbeats`) and stop
+  processing and transmitting once crashed or battery-depleted;
+* the controller tracks heartbeats
+  (:meth:`ControllerNode.enable_liveness`), declares cameras dead
+  after a miss threshold, and *re-selects* — re-runs greedy camera
+  subset selection and algorithm downgrade over the survivors using
+  the last assessment's metadata — so global accuracy degrades
+  gracefully instead of silently counting on dead cameras.  Every
+  declaration and re-selection is appended to a structured
+  :class:`~repro.faults.events.FaultLog`.
 """
 
 from __future__ import annotations
@@ -18,14 +37,18 @@ from repro.core.selection import AssessmentData
 from repro.detection.base import Detection, Detector
 from repro.energy.battery import Battery
 from repro.energy.model import ProcessingEnergyModel
+from repro.faults.events import FaultLog
 from repro.network.messages import (
+    Ack,
     AlgorithmAssignment,
     AssessmentRequest,
     DetectionMetadata,
     EnergyReport,
     FeatureUpload,
+    Heartbeat,
     Message,
 )
+from repro.network.reliability import ReliableTransport, node_seed
 from repro.network.simulator import Node
 from repro.world.renderer import FrameObservation
 
@@ -37,7 +60,8 @@ class CameraSensorNode(Node):
     pre-installed detectors, and its battery.  It answers assessment
     requests by running the requested algorithms over the next frames
     and streaming metadata back, and otherwise runs whatever algorithm
-    the controller assigned.
+    the controller assigned.  A crashed (``alive=False``) or
+    battery-depleted node processes nothing and transmits nothing.
     """
 
     def __init__(
@@ -50,6 +74,7 @@ class CameraSensorNode(Node):
         energy_model: ProcessingEnergyModel,
         battery: Battery | None = None,
         rng: np.random.Generator | None = None,
+        reliable: bool = False,
     ) -> None:
         super().__init__(node_id)
         self.controller_id = controller_id
@@ -58,10 +83,22 @@ class CameraSensorNode(Node):
         self.thresholds = thresholds
         self.energy_model = energy_model
         self.battery = battery or Battery()
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # Unconfigured nodes must not share one rng stream: derive the
+        # default seed from the node id instead of a constant.
+        self.rng = (
+            rng
+            if rng is not None
+            else np.random.default_rng(node_seed(node_id))
+        )
+        self.transport = ReliableTransport(self) if reliable else None
         self.cursor = 0
         self.active_algorithm: str | None = None
         self.frames_processed = 0
+        self.alive = True
+        self.suppressed_sends = 0
+        self._heartbeat_interval: float | None = None
+        self._heartbeat_until: float | None = None
+        self._operation_until: float | None = None
 
     # ------------------------------------------------------------------
     # Energy accounting hooks
@@ -77,13 +114,46 @@ class CameraSensorNode(Node):
             observation, self.rng, threshold=self.thresholds.get(algorithm)
         )
 
+    @property
+    def is_operational(self) -> bool:
+        return self.alive and not self.battery.is_depleted
+
+    # ------------------------------------------------------------------
+    # Fault hooks (driven by the FaultInjector)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Power loss: stop processing; the radio goes silent."""
+        self.alive = False
+
+    def reboot(self) -> None:
+        """Come back up and announce ourselves to the controller."""
+        self.alive = True
+        if self.simulator is not None and self.is_operational:
+            self.report_energy()
+            if self._heartbeat_interval is not None:
+                self._emit_heartbeat()
+
+    def send(self, message: Message) -> None:
+        """Transmit unless crashed or depleted (the radio has no power)."""
+        if not self.is_operational:
+            self.suppressed_sends += 1
+            return
+        super().send(message)
+
+    def _send(self, message: Message) -> None:
+        """Protocol send: reliable when a transport is configured."""
+        if self.transport is not None:
+            self.transport.send(message)
+        else:
+            self.send(message)
+
     # ------------------------------------------------------------------
     # Protocol
     # ------------------------------------------------------------------
     def start(self, features: np.ndarray | None = None) -> None:
         """Startup: upload features (optional) and the energy report."""
         if features is not None:
-            self.send(
+            self._send(
                 FeatureUpload(
                     sender=self.node_id,
                     recipient=self.controller_id,
@@ -93,7 +163,7 @@ class CameraSensorNode(Node):
         self.report_energy()
 
     def report_energy(self) -> None:
-        self.send(
+        self._send(
             EnergyReport(
                 sender=self.node_id,
                 recipient=self.controller_id,
@@ -101,7 +171,86 @@ class CameraSensorNode(Node):
             )
         )
 
+    # ------------------------------------------------------------------
+    # Heartbeats and autonomous operation
+    # ------------------------------------------------------------------
+    def start_heartbeats(
+        self, interval_s: float, until: float | None = None
+    ) -> None:
+        """Beacon liveness every ``interval_s`` simulated seconds.
+
+        Pass ``until`` (absolute simulated time) to bound the schedule
+        — without it the simulator's queue never drains on ``run()``.
+        Beacons are fire-and-forget: a missed heartbeat is exactly the
+        signal the controller's liveness monitor consumes.
+        """
+        if interval_s <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        self._heartbeat_interval = interval_s
+        self._heartbeat_until = until
+        self._heartbeat_tick()
+
+    def _emit_heartbeat(self) -> None:
+        self.send(
+            Heartbeat(
+                sender=self.node_id,
+                recipient=self.controller_id,
+                residual_joules=self.battery.residual,
+            )
+        )
+
+    def _heartbeat_tick(self) -> None:
+        sim = self.simulator
+        if sim is None or self._heartbeat_interval is None:
+            return
+        if (
+            self._heartbeat_until is not None
+            and sim.now > self._heartbeat_until
+        ):
+            return
+        # self.send is a no-op while crashed/depleted; the schedule
+        # keeps ticking so a rebooted node resumes beaconing.
+        self._emit_heartbeat()
+        sim.schedule(self._heartbeat_interval, self._heartbeat_tick)
+
+    def start_operation(
+        self, interval_s: float, until: float | None = None
+    ) -> None:
+        """Process one frame every ``interval_s`` (the paper's cadence).
+
+        Each tick runs :meth:`process_next_frame`, which is a no-op
+        until the controller assigns an algorithm, and after a crash
+        or battery exhaustion.
+        """
+        if interval_s <= 0:
+            raise ValueError("operation interval must be positive")
+        self._operation_until = until
+        self._operation_tick(interval_s)
+
+    def _operation_tick(self, interval_s: float) -> None:
+        sim = self.simulator
+        if sim is None:
+            return
+        if (
+            self._operation_until is not None
+            and sim.now > self._operation_until
+        ):
+            return
+        self.process_next_frame()
+        sim.schedule(interval_s, lambda: self._operation_tick(interval_s))
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
     def receive(self, message: Message) -> None:
+        if not self.alive:
+            return  # crashed hardware hears nothing
+        if isinstance(message, Ack):
+            if self.transport is not None:
+                self.transport.handle_ack(message)
+            return
+        if self.transport is not None and not self.transport.accept(message):
+            return  # duplicate of an already-processed message
         if isinstance(message, AssessmentRequest):
             self._handle_assessment(message)
         elif isinstance(message, AlgorithmAssignment):
@@ -115,12 +264,14 @@ class CameraSensorNode(Node):
         for _ in range(request.num_frames):
             if self.cursor >= len(self.observations):
                 break
+            if self.battery.is_depleted:
+                break
             observation = self.observations[self.cursor]
             self.cursor += 1
             self.frames_processed += 1
             for algorithm in request.algorithms:
                 detections = self._run_algorithm(observation, algorithm)
-                self.send(
+                self._send(
                     DetectionMetadata(
                         sender=self.node_id,
                         recipient=self.controller_id,
@@ -133,8 +284,11 @@ class CameraSensorNode(Node):
     def process_next_frame(self) -> bool:
         """Operational tick: run the assigned algorithm on one frame.
 
-        Returns False when the stream is exhausted or the node is idle.
+        Returns False when the stream is exhausted, the node is idle,
+        crashed, or its battery is depleted.
         """
+        if not self.is_operational:
+            return False
         if self.active_algorithm is None:
             return False
         if self.cursor >= len(self.observations):
@@ -143,7 +297,7 @@ class CameraSensorNode(Node):
         self.cursor += 1
         self.frames_processed += 1
         detections = self._run_algorithm(observation, self.active_algorithm)
-        self.send(
+        self._send(
             DetectionMetadata(
                 sender=self.node_id,
                 recipient=self.controller_id,
@@ -175,7 +329,14 @@ class _AssessmentCollector:
 
 
 class ControllerNode(Node):
-    """The central controller as a network node."""
+    """The central controller as a network node.
+
+    With ``reliable=True`` plus :meth:`enable_liveness` the controller
+    tolerates lossy links and dying cameras: assessment rounds finish
+    on partial data (give-ups and timeouts release pending cameras),
+    heartbeat silence marks cameras dead, and every liveness change
+    triggers a re-selection over the surviving fleet.
+    """
 
     def __init__(
         self,
@@ -183,19 +344,48 @@ class ControllerNode(Node):
         controller: EECSController,
         assessment_frames: int = 4,
         budget: float | None = None,
+        reliable: bool = False,
+        fault_log: FaultLog | None = None,
     ) -> None:
         super().__init__(node_id)
         self.controller = controller
         self.assessment_frames = assessment_frames
         self.budget = budget
+        self.transport = (
+            ReliableTransport(self, on_give_up=self._on_give_up)
+            if reliable
+            else None
+        )
+        self.fault_log = fault_log if fault_log is not None else FaultLog()
         self.energy_reports: dict[str, float] = {}
+        self.last_heartbeat: dict[str, float] = {}
         self.operational_metadata: list[DetectionMetadata] = []
         self.decisions = []
+        self.last_assessment: AssessmentData | None = None
         self._collector: _AssessmentCollector | None = None
         self._pending_cameras: set[str] = set()
         self._pending_algorithms: dict[str, int] = {}
+        self._assessment_deadline: float | None = None
+        self._liveness_interval: float | None = None
+        self._liveness_misses = 3
+        self._liveness_until: float | None = None
+
+    def _send(self, message: Message) -> None:
+        if self.transport is not None:
+            self.transport.send(message)
+        else:
+            self.send(message)
 
     def receive(self, message: Message) -> None:
+        if isinstance(message, Ack):
+            if self.transport is not None:
+                self.transport.handle_ack(message)
+            return
+        if isinstance(message, Heartbeat):
+            self._handle_heartbeat(message)
+            return
+        if self.transport is not None and not self.transport.accept(message):
+            return  # duplicate of an already-processed message
         if isinstance(message, FeatureUpload):
             if self.controller.comparator is not None:
                 self.controller.receive_features(
@@ -211,12 +401,132 @@ class ControllerNode(Node):
             )
 
     # ------------------------------------------------------------------
+    # Liveness: heartbeats, dead declarations, re-selection
+    # ------------------------------------------------------------------
+    def enable_liveness(
+        self,
+        heartbeat_interval_s: float,
+        miss_threshold: int = 3,
+        until: float | None = None,
+    ) -> None:
+        """Watch camera heartbeats and react to silence.
+
+        A camera unheard for ``miss_threshold`` heartbeat intervals is
+        marked dead and the current selection is re-run over the
+        survivors.  ``until`` bounds the monitoring schedule in
+        absolute simulated time.
+        """
+        if self.simulator is None:
+            raise RuntimeError("attach the controller to a simulator first")
+        if heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        self._liveness_interval = heartbeat_interval_s
+        self._liveness_misses = miss_threshold
+        self._liveness_until = until
+        now = self.simulator.now
+        for camera_id in self.controller.camera_ids:
+            self.last_heartbeat.setdefault(camera_id, now)
+        self.simulator.schedule(heartbeat_interval_s, self._liveness_check)
+
+    def _handle_heartbeat(self, message: Heartbeat) -> None:
+        if self.simulator is not None:
+            self.last_heartbeat[message.sender] = self.simulator.now
+        self.energy_reports[message.sender] = message.residual_joules
+        if message.sender in self.controller.camera_ids:
+            state = self.controller.camera(message.sender)
+            if not state.alive:
+                self.controller.mark_camera_alive(message.sender)
+                self.fault_log.recovery(
+                    self.simulator.now if self.simulator else 0.0,
+                    "camera_marked_alive",
+                    message.sender,
+                )
+                self._reselect(f"camera {message.sender} returned")
+
+    def _liveness_check(self) -> None:
+        sim = self.simulator
+        if sim is None or self._liveness_interval is None:
+            return
+        deadline = self._liveness_misses * self._liveness_interval
+        newly_dead = []
+        for camera_id in self.controller.camera_ids:
+            state = self.controller.camera(camera_id)
+            if not state.alive:
+                continue
+            silent_for = sim.now - self.last_heartbeat.get(camera_id, 0.0)
+            if silent_for > deadline:
+                self.controller.mark_camera_dead(camera_id)
+                newly_dead.append(camera_id)
+                self.fault_log.fault(
+                    sim.now,
+                    "camera_marked_dead",
+                    camera_id,
+                    f"no heartbeat for {silent_for:.2f} s",
+                )
+        if newly_dead:
+            for camera_id in newly_dead:
+                self._release_pending(camera_id)
+            self._reselect(f"cameras died: {', '.join(newly_dead)}")
+        if self._liveness_until is None or sim.now <= self._liveness_until:
+            sim.schedule(self._liveness_interval, self._liveness_check)
+
+    def _reselect(self, reason: str) -> None:
+        """Re-run selection over surviving cameras on the last data."""
+        if self.last_assessment is None:
+            return
+        now = self.simulator.now if self.simulator else 0.0
+        try:
+            decision = self._decide(self.last_assessment)
+        except RuntimeError as exc:
+            self.fault_log.fault(
+                now, "reselect_failed", self.node_id, str(exc)
+            )
+            return
+        self.decisions.append(decision)
+        self.fault_log.recovery(
+            now, "reselected", self.node_id,
+            f"{reason}; new assignment {decision.assignment}",
+        )
+        self._push_assignments(decision)
+
+    # ------------------------------------------------------------------
+    # Reliability bookkeeping
+    # ------------------------------------------------------------------
+    def _on_give_up(self, message: Message) -> None:
+        """A message exhausted its retries; release anything waiting."""
+        now = self.simulator.now if self.simulator else 0.0
+        self.fault_log.fault(
+            now, "delivery_gave_up", message.recipient, message.kind
+        )
+        if isinstance(message, AssessmentRequest):
+            self._release_pending(message.recipient)
+
+    def _release_pending(self, camera_id: str) -> None:
+        """Stop waiting on a camera's assessment contribution."""
+        if self._collector is None:
+            return
+        self._pending_cameras.discard(camera_id)
+        self._pending_algorithms.pop(camera_id, None)
+        if not self._pending_cameras:
+            self._finish_assessment()
+
+    # ------------------------------------------------------------------
     # Assessment round orchestration
     # ------------------------------------------------------------------
     def start_assessment(
-        self, camera_algorithms: dict[str, list[str]]
+        self,
+        camera_algorithms: dict[str, list[str]],
+        timeout_s: float | None = None,
     ) -> None:
-        """Ask every camera to run its affordable algorithms."""
+        """Ask every camera to run its affordable algorithms.
+
+        ``timeout_s`` bounds the round: if metadata is still missing
+        after that many simulated seconds (lost requests, cameras dying
+        mid-assessment), the round closes on whatever arrived instead
+        of stalling forever.
+        """
         self._collector = _AssessmentCollector(
             expected_frames=self.assessment_frames
         )
@@ -225,8 +535,18 @@ class ControllerNode(Node):
             camera: self.assessment_frames * len(algorithms)
             for camera, algorithms in camera_algorithms.items()
         }
+        if timeout_s is not None:
+            if self.simulator is None:
+                raise RuntimeError(
+                    "attach the controller to a simulator first"
+                )
+            deadline = self.simulator.now + timeout_s
+            self._assessment_deadline = deadline
+            self.simulator.schedule(
+                timeout_s, lambda: self._assessment_timeout(deadline)
+            )
         for camera_id, algorithms in camera_algorithms.items():
-            self.send(
+            self._send(
                 AssessmentRequest(
                     sender=self.node_id,
                     recipient=camera_id,
@@ -234,6 +554,18 @@ class ControllerNode(Node):
                     algorithms=algorithms,
                 )
             )
+
+    def _assessment_timeout(self, deadline: float) -> None:
+        if self._collector is None or self._assessment_deadline != deadline:
+            return  # the round already finished (or was restarted)
+        waiting = sorted(self._pending_cameras)
+        self.fault_log.fault(
+            self.simulator.now if self.simulator else 0.0,
+            "assessment_timeout",
+            self.node_id,
+            f"closing round without: {', '.join(waiting)}",
+        )
+        self._finish_assessment()
 
     def _handle_metadata(self, message: DetectionMetadata) -> None:
         if (
@@ -252,26 +584,51 @@ class ControllerNode(Node):
         else:
             self.operational_metadata.append(message)
 
-    def _finish_assessment(self) -> None:
-        assessment = self._collector.to_assessment()
-        self._collector = None
+    def _decide(self, assessment: AssessmentData):
         overrides = (
             {c: self.budget for c in self.controller.camera_ids}
             if self.budget is not None
             else None
         )
-        decision = self.controller.select(
+        return self.controller.select(
             assessment, budget_overrides=overrides
         )
+
+    def _finish_assessment(self) -> None:
+        assessment = self._collector.to_assessment()
+        self._collector = None
+        self._assessment_deadline = None
+        if not assessment.frames:
+            self.fault_log.fault(
+                self.simulator.now if self.simulator else 0.0,
+                "assessment_empty",
+                self.node_id,
+                "no metadata arrived; keeping the previous selection",
+            )
+            return
+        self.last_assessment = assessment
+        try:
+            decision = self._decide(assessment)
+        except RuntimeError as exc:
+            self.fault_log.fault(
+                self.simulator.now if self.simulator else 0.0,
+                "selection_failed",
+                self.node_id,
+                str(exc),
+            )
+            return
         self.decisions.append(decision)
-        for camera_id in self.controller.camera_ids:
+        self._push_assignments(decision)
+
+    def _push_assignments(self, decision) -> None:
+        for camera_id in self.controller.alive_camera_ids:
             algorithm = decision.assignment.get(camera_id)
             threshold = float("nan")
             if algorithm is not None:
                 state = self.controller.camera(camera_id)
                 item = self.controller.library.get(state.matched_item)
                 threshold = item.profile(algorithm).threshold
-            self.send(
+            self._send(
                 AlgorithmAssignment(
                     sender=self.node_id,
                     recipient=camera_id,

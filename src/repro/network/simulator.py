@@ -4,6 +4,21 @@ A minimal priority-queue event loop: callbacks are scheduled at
 absolute times and executed in order; message delivery between nodes
 is an event whose delay comes from the link's transfer time.  Nodes
 register by id; delivery charges the sender's transmission energy.
+
+Failure semantics (all opt-in; a simulator with no attached
+:class:`~repro.faults.injector.FaultInjector`, no severed links and no
+down nodes behaves exactly like the fault-free original):
+
+* a *down* node neither transmits (radio off, no energy spent) nor
+  receives — in-flight messages addressed to it are dropped on
+  arrival;
+* a *severed* link (:meth:`disconnect`) still lets the sender key up
+  its radio — transmission energy is charged — but the message never
+  arrives;
+* an attached fault injector may drop or delay any transmission
+  (lossy links, latency spikes).
+
+Every undelivered message increments :attr:`dropped_messages`.
 """
 
 from __future__ import annotations
@@ -11,10 +26,13 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.network.link import WirelessLink
 from repro.network.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass(order=True)
@@ -33,7 +51,11 @@ class EventSimulator:
         self._now = 0.0
         self._nodes: dict[str, "Node"] = {}
         self._links: dict[tuple[str, str], WirelessLink] = {}
+        self._severed: dict[tuple[str, str], WirelessLink] = {}
+        self._down_nodes: set[str] = set()
+        self.fault_injector: "FaultInjector | None" = None
         self.delivered_messages = 0
+        self.dropped_messages = 0
         self.transferred_bytes = 0
 
     # ------------------------------------------------------------------
@@ -46,15 +68,62 @@ class EventSimulator:
         node.simulator = self
 
     def connect(
-        self, node_a: str, node_b: str, link: WirelessLink | None = None
+        self,
+        node_a: str,
+        node_b: str,
+        link: WirelessLink | None = None,
+        replace: bool = False,
     ) -> None:
-        """Create a bidirectional link between two registered nodes."""
+        """Create a bidirectional link between two registered nodes.
+
+        Connecting an already-linked pair raises unless ``replace=True``
+        — silently swapping a link mid-run would invalidate in-flight
+        transfer times without anyone noticing.
+        """
         for node_id in (node_a, node_b):
             if node_id not in self._nodes:
                 raise KeyError(f"node {node_id!r} not registered")
+        pair = (node_a, node_b)
+        if not replace and (
+            pair in self._links or pair[::-1] in self._links
+        ):
+            raise ValueError(
+                f"nodes {node_a!r} and {node_b!r} are already linked; "
+                "pass replace=True to swap the link explicitly"
+            )
         link = link or WirelessLink()
-        self._links[(node_a, node_b)] = link
-        self._links[(node_b, node_a)] = link
+        self._links[pair] = link
+        self._links[pair[::-1]] = link
+        self._severed.pop(pair, None)
+        self._severed.pop(pair[::-1], None)
+
+    def disconnect(self, node_a: str, node_b: str) -> None:
+        """Sever the link between two nodes (partition injection).
+
+        The link object is remembered so sends into the partition can
+        still be charged radio energy and :meth:`reconnect` can restore
+        the exact same link parameters.
+        """
+        pair = (node_a, node_b)
+        link = self._links.pop(pair, None) or self._links.pop(
+            pair[::-1], None
+        )
+        self._links.pop(pair, None)
+        self._links.pop(pair[::-1], None)
+        if link is None:
+            raise KeyError(f"no link between {node_a!r} and {node_b!r}")
+        self._severed[pair] = link
+        self._severed[pair[::-1]] = link
+
+    def reconnect(self, node_a: str, node_b: str) -> None:
+        """Restore a previously severed link."""
+        pair = (node_a, node_b)
+        link = self._severed.get(pair)
+        if link is None:
+            raise KeyError(
+                f"no severed link between {node_a!r} and {node_b!r}"
+            )
+        self.connect(node_a, node_b, link, replace=True)
 
     def link_between(self, sender: str, recipient: str) -> WirelessLink:
         try:
@@ -64,8 +133,29 @@ class EventSimulator:
                 f"no link between {sender!r} and {recipient!r}"
             ) from None
 
+    def is_connected(self, node_a: str, node_b: str) -> bool:
+        return (node_a, node_b) in self._links
+
     def node(self, node_id: str) -> "Node":
         return self._nodes[node_id]
+
+    # ------------------------------------------------------------------
+    # Node liveness
+    # ------------------------------------------------------------------
+    def set_node_down(self, node_id: str) -> None:
+        """Mark a node crashed: it stops sending and receiving."""
+        if node_id not in self._nodes:
+            raise KeyError(f"node {node_id!r} not registered")
+        self._down_nodes.add(node_id)
+
+    def set_node_up(self, node_id: str) -> None:
+        """Bring a crashed node back."""
+        if node_id not in self._nodes:
+            raise KeyError(f"node {node_id!r} not registered")
+        self._down_nodes.discard(node_id)
+
+    def is_node_down(self, node_id: str) -> bool:
+        return node_id in self._down_nodes
 
     # ------------------------------------------------------------------
     # Event loop
@@ -86,20 +176,51 @@ class EventSimulator:
         """Deliver a message over the connecting link.
 
         Charges the sender's radio energy immediately and schedules
-        the recipient's ``receive`` after the transfer time.
+        the recipient's ``receive`` after the transfer time.  The
+        message is silently dropped (and counted) when the sender is
+        down, the link is severed, the fault injector rules a loss, or
+        the recipient is down at arrival time.
         """
-        link = self.link_between(message.sender, message.recipient)
+        pair = (message.sender, message.recipient)
+        severed = False
+        link = self._links.get(pair)
+        if link is None:
+            link = self._severed.get(pair)
+            severed = link is not None
+        if link is None:
+            raise KeyError(
+                f"no link between {message.sender!r} and "
+                f"{message.recipient!r}"
+            )
+        if message.sender in self._down_nodes:
+            # A crashed node's radio is off: nothing leaves the antenna
+            # and no transmission energy is spent.
+            self.dropped_messages += 1
+            return
         sender = self._nodes[message.sender]
         recipient = self._nodes[message.recipient]
         size = message.size_bytes
         sender.on_transmit(size, link.transfer_energy(size))
         self.transferred_bytes += size
 
+        extra_latency = 0.0
+        dropped = severed
+        if self.fault_injector is not None:
+            verdict = self.fault_injector.on_send(message)
+            dropped = dropped or verdict.drop
+            extra_latency = verdict.extra_latency_s
+        if dropped:
+            self.dropped_messages += 1
+            return
+
         def deliver() -> None:
+            if message.recipient in self._down_nodes:
+                self.dropped_messages += 1
+                return
             self.delivered_messages += 1
             recipient.receive(message)
 
-        self.schedule(link.transfer_time(size), deliver)
+        self.schedule(link.transfer_time(size) + extra_latency, deliver)
 
     def run(self, until: float | None = None, max_events: int = 1_000_000) -> int:
         """Drain the event queue; returns the number of events run."""
