@@ -7,6 +7,8 @@ computes per training-item comparison), detector scoring, and
 cross-camera grouping.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -72,3 +74,49 @@ def test_bench_bow_histogram(benchmark, frame, rng):
     bow.fit(np.vstack(descriptors * 4))
     hist = benchmark(bow.transform_image, frame.image)
     assert hist.shape == (400,)
+
+
+def test_bench_metrics_hot_path(benchmark):
+    """One labelled counter increment — the telemetry cost paid per
+    message send / energy draw in instrumented runs."""
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry(run_id="bench")
+    counter = telemetry.energy_counter()
+    benchmark(counter.inc, 0.001, node="cam1", category="processing")
+    assert telemetry.registry.series_count() == 1
+
+
+def test_telemetry_overhead_under_five_percent(runner_ds1):
+    """Always-on budget: a fully instrumented run must stay within 5%
+    of the uninstrumented wall-clock.
+
+    Interleaved min-of-N: the minimum is the least-noisy estimator of
+    the true cost on a shared machine, and alternating the two
+    variants exposes both to the same thermal/cache conditions.
+    """
+    from repro.core.runner import SimulationRunner
+    from repro.telemetry import Telemetry
+
+    dataset = runner_ds1.dataset
+
+    def timed_run(telemetry):
+        runner = SimulationRunner(
+            dataset,
+            rng=np.random.default_rng(2017),
+            telemetry=telemetry,
+        )
+        runner.library = runner_ds1.library
+        start = time.perf_counter()
+        runner.run(mode="full", budget=2.0, start=1000, end=2000)
+        return time.perf_counter() - start
+
+    timed_run(None)  # warm caches before measuring
+    plain, instrumented = [], []
+    for _ in range(5):
+        plain.append(timed_run(None))
+        instrumented.append(timed_run(Telemetry(run_id="bench")))
+    assert min(instrumented) <= min(plain) * 1.05, (
+        f"telemetry overhead {min(instrumented) / min(plain) - 1:.1%} "
+        "exceeds the 5% budget"
+    )

@@ -7,16 +7,72 @@ Usage::
     python -m repro fig3|fig4|fig5a|fig5b|fig6
     python -m repro run --dataset 1 --mode full --budget 2.0
     python -m repro run --dataset 1 --workers 4 --perf-report
+    python -m repro run --metrics-out m.json --trace-out t.jsonl
     python -m repro chaos --loss-rate 0.2 --crash 1 --seed 7
+    python -m repro telemetry-report --metrics m.json --trace t.jsonl
     python -m repro train --dataset 1 --save library.json
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 import numpy as np
+
+
+def _make_telemetry(args: argparse.Namespace):
+    """A Telemetry sink when any ``--*-out`` flag asked for one.
+
+    The run id is derived from the command and seed so repeated runs of
+    the same configuration produce byte-comparable dump files.
+    """
+    if not (args.metrics_out or args.trace_out or args.events_out):
+        return None
+    from repro.telemetry import Telemetry
+
+    return Telemetry(run_id=f"{args.command}-{args.seed}")
+
+
+def _write_telemetry(telemetry, args: argparse.Namespace) -> None:
+    if args.metrics_out:
+        telemetry.write_metrics(args.metrics_out)
+        print(
+            f"wrote {telemetry.registry.series_count()} metric series "
+            f"to {args.metrics_out}"
+        )
+    if args.trace_out:
+        count = telemetry.write_trace(args.trace_out)
+        print(f"wrote {count} spans to {args.trace_out}")
+    if args.events_out:
+        count = telemetry.write_events(args.events_out)
+        print(f"wrote {count} events to {args.events_out}")
+
+
+def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        help="dump the metrics snapshot (JSON; .prom/.txt for the "
+        "Prometheus text format)",
+    )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        help="dump the span tree as JSONL (repro.span.v1)",
+    )
+    p.add_argument(
+        "--events-out",
+        default=None,
+        help="dump structured events as JSONL (repro.event.v1)",
+    )
+    p.add_argument(
+        "--log-level",
+        default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="configure the logging module's root level",
+    )
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -107,8 +163,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.runner import SimulationRunner
     from repro.datasets.synthetic import make_dataset
 
+    telemetry = _make_telemetry(args)
     runner = SimulationRunner(
-        make_dataset(args.dataset), seed=args.seed, workers=args.workers
+        make_dataset(args.dataset),
+        seed=args.seed,
+        workers=args.workers,
+        telemetry=telemetry,
     )
     result = runner.run(mode=args.mode, budget=args.budget)
     print(f"mode:            {result.mode}")
@@ -128,6 +188,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{stats['misses']} misses, {stats['entries']} entries "
             f"(hit rate {stats['hit_rate']:.0%})"
         )
+    if telemetry is not None:
+        _write_telemetry(telemetry, args)
     return 0
 
 
@@ -154,6 +216,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         budget=args.budget,
     )
     plan = FaultPlan.load(args.fault_plan) if args.fault_plan else None
+    telemetry = _make_telemetry(args)
 
     baseline = run_chaos(
         ChaosSpec(
@@ -164,7 +227,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         ),
         runner,
     )
-    result = run_chaos(spec, runner, plan=plan)
+    # Only the faulty run is instrumented: its metrics are the ones
+    # that show loss, retries and re-selection at work.
+    result = run_chaos(spec, runner, plan=plan, telemetry=telemetry)
 
     print(f"zero-fault:      {baseline.humans_detected}/"
           f"{baseline.humans_present} detected "
@@ -192,6 +257,27 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             detail = f" — {event.detail}" if event.detail else ""
             print(f"  t={event.time_s:7.2f}s  {event.kind:<20} "
                   f"{event.subject}{detail}")
+    if telemetry is not None:
+        _write_telemetry(telemetry, args)
+    return 0
+
+
+def _cmd_telemetry_report(args: argparse.Namespace) -> int:
+    from repro.telemetry.report import render_files
+
+    if not (args.metrics or args.trace or args.events):
+        print(
+            "nothing to report: pass --metrics, --trace and/or --events",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        render_files(
+            metrics_path=args.metrics,
+            trace_path=args.trace,
+            events_path=args.events,
+        )
+    )
     return 0
 
 
@@ -278,6 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-section timings and cache counters after the run",
     )
+    _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser(
@@ -305,7 +392,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--frames", type=int, default=18)
     p.add_argument("--budget", type=float, default=2.0)
+    _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "telemetry-report",
+        help="render metrics/trace/event dump files as a text report",
+    )
+    p.add_argument("--metrics", default=None, help="metrics JSON dump")
+    p.add_argument("--trace", default=None, help="span JSONL dump")
+    p.add_argument("--events", default=None, help="event JSONL dump")
+    p.set_defaults(func=_cmd_telemetry_report)
 
     p = sub.add_parser("train", help="offline training -> JSON library")
     p.add_argument("--dataset", type=int, default=1, choices=(1, 2, 3, 4))
@@ -332,6 +429,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    level = getattr(args, "log_level", None)
+    if level:
+        logging.basicConfig(
+            level=getattr(logging, level.upper()),
+            format="%(levelname)s %(name)s: %(message)s",
+        )
     return args.func(args)
 
 

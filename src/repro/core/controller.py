@@ -12,8 +12,12 @@ algorithm each should run until the next re-calibration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.core import Telemetry
 
 from repro.core.accuracy import DesiredAccuracy, GlobalAccuracy
 from repro.core.calibration import TrainingLibrary
@@ -82,6 +86,7 @@ class EECSController:
         library: TrainingLibrary,
         matcher: CrossCameraMatcher,
         comparator: VideoComparator | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self.config = config
         self.library = library
@@ -94,6 +99,10 @@ class EECSController:
             comparator.cache = library.cache
         self.engine = SelectionEngine(matcher)
         self._cameras: dict[str, CameraState] = {}
+        self.telemetry = telemetry
+        #: Simulated-time source for decision events; the owning loop
+        #: (frame runner or event simulator) wires this.
+        self.now_fn: Callable[[], float] = lambda: 0.0
 
     # ------------------------------------------------------------------
     # Camera registration and feature matching
@@ -295,10 +304,80 @@ class EECSController:
         else:
             assignment = {p.camera_id: p.best_algorithm for p in chosen}
 
-        return SelectionDecision(
+        decision = SelectionDecision(
             assignment=assignment,
             baseline=baseline,
             desired=desired,
             achieved=achieved,
             ranked_camera_ids=[p.camera_id for p in ranked],
+        )
+        if self.telemetry is not None:
+            best_by_camera = {p.camera_id: p.best_algorithm for p in plans}
+            self._record_decision(decision, best_by_camera)
+        return decision
+
+    def _record_decision(
+        self,
+        decision: SelectionDecision,
+        best_by_camera: dict[str, str],
+    ) -> None:
+        """Mirror one selection outcome into metrics and events."""
+        telemetry = self.telemetry
+        registry = telemetry.registry
+        registry.counter(
+            "controller_selections_total",
+            "Selection rounds the controller has run.",
+        ).inc()
+        registry.gauge(
+            "controller_cameras_selected",
+            "Cameras activated by the latest selection.",
+        ).set(decision.num_active)
+        assignments = registry.counter(
+            "controller_assignments_total",
+            "Camera-algorithm assignments issued, by algorithm.",
+            labels=("algorithm",),
+        )
+        downgrades = 0
+        for camera_id, algorithm in decision.assignment.items():
+            assignments.inc(algorithm=algorithm)
+            if best_by_camera.get(camera_id, algorithm) != algorithm:
+                downgrades += 1
+        registry.counter(
+            "controller_downgrades_total",
+            "Cameras assigned a cheaper algorithm than their best.",
+        ).inc(downgrades)
+        accuracy = registry.gauge(
+            "controller_accuracy",
+            "Latest selection's accuracy proxies: all-best baseline, "
+            "gamma-scaled desired floor, and predicted achieved.",
+            labels=("quantity",),
+        )
+        accuracy.set(decision.baseline.num_objects, quantity="baseline_objects")
+        accuracy.set(
+            decision.baseline.mean_probability,
+            quantity="baseline_probability",
+        )
+        accuracy.set(decision.desired.min_objects, quantity="desired_objects")
+        accuracy.set(
+            decision.desired.min_probability, quantity="desired_probability"
+        )
+        accuracy.set(decision.achieved.num_objects, quantity="achieved_objects")
+        accuracy.set(
+            decision.achieved.mean_probability,
+            quantity="achieved_probability",
+        )
+        telemetry.event(
+            "controller_decision",
+            time_s=self.now_fn(),
+            node_id="controller",
+            assignment=dict(decision.assignment),
+            num_active=decision.num_active,
+            downgrades=downgrades,
+            ranked=list(decision.ranked_camera_ids),
+            baseline_objects=decision.baseline.num_objects,
+            baseline_probability=decision.baseline.mean_probability,
+            desired_objects=decision.desired.min_objects,
+            desired_probability=decision.desired.min_probability,
+            achieved_objects=decision.achieved.num_objects,
+            achieved_probability=decision.achieved.mean_probability,
         )

@@ -54,6 +54,8 @@ from repro.perf.parallel import parallel_map
 from repro.perf.timing import TimingReport
 from repro.reid.mahalanobis import MahalanobisMetric
 from repro.reid.matcher import CrossCameraMatcher
+from repro.telemetry.core import Telemetry
+from repro.telemetry.trace import TracingTimingReport
 
 
 @dataclass
@@ -186,13 +188,24 @@ class SimulationRunner:
         seed: int = 2017,
         workers: int = 1,
         timing: TimingReport | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.dataset = dataset
         self.config = config or EECSConfig()
         self._seed = seed
         self._latency_seconds = 0.0
         self.workers = workers
-        self.timing = timing if timing is not None else TimingReport()
+        self.telemetry = telemetry
+        #: Simulated time of the round in flight (frame cadence), read
+        #: by the controller's decision events.
+        self._sim_time_s = 0.0
+        if timing is not None:
+            self.timing = timing
+        elif telemetry is not None:
+            # Phase sections double as spans in the telemetry trace.
+            self.timing = TracingTimingReport(telemetry.tracer)
+        else:
+            self.timing = TimingReport()
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         env = dataset.environment
         self.detectors = detectors or make_detector_suite(env)
@@ -213,16 +226,23 @@ class SimulationRunner:
             color_threshold=self.config.color_threshold,
         )
         self.controller = EECSController(
-            self.config, self.library, self.matcher
+            self.config, self.library, self.matcher, telemetry=telemetry
         )
+        if telemetry is not None:
+            self.controller.now_fn = lambda: self._sim_time_s
         for camera_id in dataset.camera_ids:
+            battery = Battery()
+            if telemetry is not None:
+                battery.instrument(
+                    telemetry, camera_id, clock=lambda: self._sim_time_s
+                )
             self.controller.register_camera(
                 camera_id,
                 processing_model=self.energy_model,
                 communication_model=CommunicationEnergyModel(
                     width=env.width, height=env.height
                 ),
-                battery=Battery(),
+                battery=battery,
             )
             self.controller.assign_training_item(camera_id, f"T-{camera_id}")
         self._camera_order = {
@@ -291,6 +311,12 @@ class SimulationRunner:
             requests, results
         ):
             self.controller.calibrate_probabilities(camera_id, detections)
+            if self.telemetry is not None:
+                # Recorded here, in the serial accounting loop, so the
+                # counters are identical for any worker count.
+                self.telemetry.observe_detections(
+                    camera_id, algorithm, detections
+                )
             meter.record_processing(
                 camera_id, self.energy_model.energy_per_frame(algorithm)
             )
@@ -471,7 +497,7 @@ class SimulationRunner:
         end = spec.total_frames if end is None else end
         records = self.dataset.frames(start, end, only_ground_truth=True)
 
-        meter = EnergyMeter()
+        meter = EnergyMeter(telemetry=self.telemetry)
         self._latency_seconds = 0.0
         detected_total = 0
         present_total = 0
@@ -490,71 +516,132 @@ class SimulationRunner:
             else None
         )
 
-        if mode == "fixed":
-            with self.timing.section("operation"):
-                detected_total, present_total, probabilities = (
-                    self._evaluate_batch(
-                        records, [assignment] * len(records), meter
-                    )
-                )
-        elif mode == "all_best":
-            frame_assignments = [
-                self._all_best_assignment(budget) for _ in records
-            ]
-            with self.timing.section("operation"):
-                detected_total, present_total, probabilities = (
-                    self._evaluate_batch(records, frame_assignments, meter)
-                )
-        else:
-            enable_downgrade = mode == "full"
-            for round_start in range(0, len(records), gt_per_round):
-                round_records = records[
-                    round_start : round_start + gt_per_round
-                ]
-                assess_records = round_records[:gt_per_assessment]
-                operate_records = round_records[gt_per_assessment:]
-
-                with self.timing.section("assessment"):
-                    assessment = self._collect_assessment(
-                        assess_records, budget, meter
-                    )
-                with self.timing.section("selection"):
-                    decision = self.controller.select(
-                        assessment,
-                        enable_subset=True,
-                        enable_downgrade=enable_downgrade,
-                        budget_overrides=budget_overrides,
-                    )
-                decisions.append(decision)
-
-                # Assessment frames are also operational: the all-best
-                # detections are already available, reuse them.
-                for idx, record in enumerate(assess_records):
-                    cache = {
-                        camera_id: assessment.detections(
-                            idx, camera_id, algorithm
-                        )
-                        for camera_id, algorithm in decision.assignment.items()
-                    }
-                    detected, present, probs = self._evaluate_frame(
-                        record,
-                        decision.assignment,
-                        meter,
-                        detections_cache=cache,
-                    )
-                    detected_total += detected
-                    present_total += present
-                    probabilities.extend(probs)
-
+        run_span = None
+        if self.telemetry is not None:
+            run_span = self.telemetry.tracer.begin(
+                "run",
+                mode=mode,
+                seed=self._seed,
+                budget=budget,
+                frames=len(records),
+            )
+        try:
+            if mode == "fixed":
                 with self.timing.section("operation"):
-                    detected, present, probs = self._evaluate_batch(
-                        operate_records,
-                        [decision.assignment] * len(operate_records),
-                        meter,
+                    detected_total, present_total, probabilities = (
+                        self._evaluate_batch(
+                            records, [assignment] * len(records), meter
+                        )
                     )
-                detected_total += detected
-                present_total += present
-                probabilities.extend(probs)
+            elif mode == "all_best":
+                frame_assignments = [
+                    self._all_best_assignment(budget) for _ in records
+                ]
+                with self.timing.section("operation"):
+                    detected_total, present_total, probabilities = (
+                        self._evaluate_batch(
+                            records, frame_assignments, meter
+                        )
+                    )
+            else:
+                enable_downgrade = mode == "full"
+                for round_index, round_start in enumerate(
+                    range(0, len(records), gt_per_round)
+                ):
+                    round_records = records[
+                        round_start : round_start + gt_per_round
+                    ]
+                    assess_records = round_records[:gt_per_assessment]
+                    operate_records = round_records[gt_per_assessment:]
+
+                    self._sim_time_s = (
+                        round_records[0].frame_index
+                        * self.config.seconds_per_frame
+                    )
+                    round_span = None
+                    if self.telemetry is not None:
+                        round_span = self.telemetry.tracer.begin(
+                            "round",
+                            index=round_index,
+                            sim_time_s=self._sim_time_s,
+                        )
+                        self.telemetry.registry.counter(
+                            "run_rounds_total",
+                            "Assessment/selection rounds executed.",
+                        ).inc()
+                    try:
+                        with self.timing.section("assessment"):
+                            assessment = self._collect_assessment(
+                                assess_records, budget, meter
+                            )
+                        with self.timing.section("selection"):
+                            decision = self.controller.select(
+                                assessment,
+                                enable_subset=True,
+                                enable_downgrade=enable_downgrade,
+                                budget_overrides=budget_overrides,
+                            )
+                        decisions.append(decision)
+
+                        # Assessment frames are also operational: the
+                        # all-best detections are already available,
+                        # reuse them.
+                        for idx, record in enumerate(assess_records):
+                            cache = {
+                                camera_id: assessment.detections(
+                                    idx, camera_id, algorithm
+                                )
+                                for camera_id, algorithm
+                                in decision.assignment.items()
+                            }
+                            detected, present, probs = (
+                                self._evaluate_frame(
+                                    record,
+                                    decision.assignment,
+                                    meter,
+                                    detections_cache=cache,
+                                )
+                            )
+                            detected_total += detected
+                            present_total += present
+                            probabilities.extend(probs)
+
+                        with self.timing.section("operation"):
+                            detected, present, probs = (
+                                self._evaluate_batch(
+                                    operate_records,
+                                    [decision.assignment]
+                                    * len(operate_records),
+                                    meter,
+                                )
+                            )
+                        detected_total += detected
+                        present_total += present
+                        probabilities.extend(probs)
+                    finally:
+                        if round_span is not None:
+                            self.telemetry.tracer.end(round_span)
+        finally:
+            if run_span is not None:
+                self.telemetry.tracer.end(run_span)
+
+        if self.telemetry is not None:
+            registry = self.telemetry.registry
+            registry.counter(
+                "run_frames_total", "Ground-truth frames evaluated."
+            ).inc(len(records))
+            registry.counter(
+                "run_humans_detected_total",
+                "Humans detected after cross-camera fusion.",
+            ).inc(detected_total)
+            registry.counter(
+                "run_humans_present_total",
+                "Humans present in any view on evaluated frames.",
+            ).inc(present_total)
+            registry.gauge(
+                "run_mean_fused_probability",
+                "Mean fused detection probability of the latest run.",
+            ).set(float(np.mean(probabilities)) if probabilities else 0.0)
 
         return RunResult(
             mode=mode,

@@ -9,6 +9,11 @@ energy budget for each frame."
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.core import Telemetry
+
 
 def frame_budget(
     residual_joules: float,
@@ -38,6 +43,13 @@ class Battery:
 
     A typical smartphone battery holds ~10 Wh = 36 kJ; the default
     matches the Asus Zen II's ~3000 mAh pack.
+
+    With a :class:`~repro.telemetry.core.Telemetry` attached (see
+    :meth:`instrument`), every draw updates the per-node
+    ``battery_fraction_remaining`` gauge, and downward crossings of
+    the configured fraction thresholds emit a ``battery_threshold``
+    event plus a ``battery_threshold_crossings_total`` increment.
+    Instrumentation never alters the drawn amounts.
     """
 
     def __init__(self, capacity_joules: float = 41000.0) -> None:
@@ -45,6 +57,65 @@ class Battery:
             raise ValueError("capacity must be positive")
         self.capacity_joules = capacity_joules
         self._consumed = 0.0
+        self._telemetry: "Telemetry | None" = None
+        self._node_id = ""
+        self._clock: Callable[[], float] | None = None
+        self._thresholds: tuple[float, ...] = ()
+        self._gauge = None
+
+    def instrument(
+        self,
+        telemetry: "Telemetry",
+        node_id: str,
+        clock: Callable[[], float] | None = None,
+        thresholds: tuple[float, ...] | None = None,
+    ) -> "Battery":
+        """Attach telemetry; returns ``self`` for chaining.
+
+        Args:
+            telemetry: Sink for the gauge, counter and events.
+            node_id: Label value identifying this battery's node.
+            clock: Simulated-time source for threshold events
+                (defaults to a constant 0.0).
+            thresholds: Remaining-fraction levels to watch; defaults
+                to :data:`repro.telemetry.core.BATTERY_THRESHOLDS`.
+        """
+        from repro.telemetry.core import BATTERY_THRESHOLDS
+
+        self._telemetry = telemetry
+        self._node_id = node_id
+        self._clock = clock
+        self._thresholds = tuple(
+            sorted(
+                BATTERY_THRESHOLDS if thresholds is None else thresholds,
+                reverse=True,
+            )
+        )
+        self._gauge = telemetry.battery_gauge()
+        self._gauge.set(self.fraction_remaining, node=node_id)
+        return self
+
+    def _observe_draw(self, before_fraction: float) -> None:
+        telemetry = self._telemetry
+        if telemetry is None:
+            return
+        after = self.fraction_remaining
+        self._gauge.set(after, node=self._node_id)
+        for threshold in self._thresholds:
+            if after < threshold <= before_fraction:
+                now = self._clock() if self._clock is not None else 0.0
+                telemetry.registry.counter(
+                    "battery_threshold_crossings_total",
+                    "Downward battery-fraction threshold crossings.",
+                    labels=("node", "threshold"),
+                ).inc(node=self._node_id, threshold=f"{threshold:g}")
+                telemetry.event(
+                    "battery_threshold",
+                    time_s=now,
+                    node_id=self._node_id,
+                    threshold=threshold,
+                    residual_joules=self.residual,
+                )
 
     @property
     def consumed(self) -> float:
@@ -73,8 +144,11 @@ class Battery:
         """
         if joules < 0:
             raise ValueError("cannot draw negative energy")
+        before = self.fraction_remaining
         drawn = min(joules, self.residual)
         self._consumed += drawn
+        if self._telemetry is not None:
+            self._observe_draw(before)
         return drawn
 
     def deplete(self) -> float:

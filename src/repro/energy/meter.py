@@ -11,6 +11,10 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.core import Telemetry
 
 
 @dataclass
@@ -33,13 +37,24 @@ class EnergyLedger:
 
 
 class EnergyMeter:
-    """Network-wide energy accounting."""
+    """Network-wide energy accounting.
+
+    With a :class:`~repro.telemetry.core.Telemetry` attached, every
+    recorded Joule also increments the
+    ``energy_joules_total{node,category}`` counter; accounting totals
+    themselves are unaffected.
+    """
 
     PROCESSING = "processing"
     COMMUNICATION = "communication"
+    RETRANSMISSION = "retransmission"
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: "Telemetry | None" = None) -> None:
         self._ledgers: dict[str, EnergyLedger] = {}
+        self.telemetry = telemetry
+        self._counter = (
+            telemetry.energy_counter() if telemetry is not None else None
+        )
 
     def ledger(self, camera_id: str) -> EnergyLedger:
         if camera_id not in self._ledgers:
@@ -49,6 +64,8 @@ class EnergyMeter:
     def record(self, camera_id: str, category: str, joules: float) -> None:
         """Record a consumption event."""
         self.ledger(camera_id).record(category, joules)
+        if self._counter is not None:
+            self._counter.inc(joules, node=camera_id, category=category)
 
     def record_processing(self, camera_id: str, joules: float) -> None:
         self.record(camera_id, self.PROCESSING, joules)

@@ -23,6 +23,7 @@ run is reproducible from its :class:`ChaosSpec` alone.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.controller import EECSController
 from repro.core.runner import SimulationRunner
@@ -34,6 +35,9 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import Crash, FaultPlan
 from repro.network.node import CameraSensorNode, ControllerNode
 from repro.network.simulator import EventSimulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.core import Telemetry
 
 
 @dataclass(frozen=True)
@@ -143,6 +147,7 @@ def run_chaos(
     spec: ChaosSpec,
     runner: SimulationRunner,
     plan: FaultPlan | None = None,
+    telemetry: "Telemetry | None" = None,
 ) -> ChaosResult:
     """Deploy ``runner``'s trained fleet over the event network under
     ``spec``'s faults and measure what the controller actually saw.
@@ -150,6 +155,12 @@ def run_chaos(
     The shared runner is only read (library, matcher, detectors); the
     run builds its own controller and batteries, so cached runners stay
     pristine for other experiments.
+
+    With a :class:`~repro.telemetry.core.Telemetry` attached, the run
+    emits the full observability surface — network/energy/controller
+    metrics, a run → round → phase → camera-op span tree, and
+    structured events mirroring the fault log — without perturbing any
+    rng stream: the faulty trajectory is bit-identical either way.
     """
     dataset = runner.dataset
     env = dataset.environment
@@ -157,7 +168,11 @@ def run_chaos(
     records = dataset.frames(spec.start, end, only_ground_truth=True)
     records = records[: spec.num_frames]
 
-    controller = EECSController(runner.config, runner.library, runner.matcher)
+    sim = EventSimulator(telemetry=telemetry)
+    controller = EECSController(
+        runner.config, runner.library, runner.matcher, telemetry=telemetry
+    )
+    controller.now_fn = lambda: sim.now
     for camera_id in dataset.camera_ids:
         controller.register_camera(
             camera_id,
@@ -169,10 +184,11 @@ def run_chaos(
         )
         controller.assign_training_item(camera_id, f"T-{camera_id}")
 
-    sim = EventSimulator()
     injector = FaultInjector(
         plan if plan is not None else spec.build_plan(dataset.camera_ids)
     )
+    if telemetry is not None:
+        telemetry.attach_fault_log(injector.log)
     controller_node = ControllerNode(
         "controller",
         controller,
@@ -180,6 +196,7 @@ def run_chaos(
         budget=spec.budget,
         reliable=True,
         fault_log=injector.log,
+        telemetry=telemetry,
     )
     sim.register_node(controller_node)
 
@@ -194,39 +211,57 @@ def run_chaos(
             thresholds={n: p.threshold for n, p in item.profiles.items()},
             energy_model=runner.energy_model,
             reliable=True,
+            telemetry=telemetry,
         )
         cameras[camera_id] = node
         sim.register_node(node)
         sim.connect(camera_id, "controller")
     injector.attach(sim)
 
-    horizon = spec.horizon_s
-    for node in cameras.values():
-        node.start()
-        node.start_heartbeats(spec.heartbeat_s, until=horizon)
-        node.start_operation(spec.seconds_per_frame, until=horizon)
-    controller_node.enable_liveness(
-        spec.heartbeat_s,
-        miss_threshold=spec.miss_threshold,
-        until=horizon,
-    )
-
-    camera_algorithms = {}
-    for camera_id in dataset.camera_ids:
-        cam_plan = controller.camera_plan(camera_id, spec.budget)
-        if cam_plan is None:
-            continue
-        camera_algorithms[camera_id] = sorted(
-            p.algorithm
-            for p in cam_plan.item.profiles.values()
-            if p.energy_per_frame + cam_plan.communication_cost
-            <= cam_plan.budget
+    run_span = (
+        telemetry.tracer.begin(
+            "run",
+            mode="chaos",
+            seed=spec.seed,
+            loss_rate=spec.loss_rate,
+            crash_count=spec.crash_count,
+            frames=spec.num_frames,
         )
-    controller_node.start_assessment(
-        camera_algorithms, timeout_s=spec.assessment_timeout_s
+        if telemetry is not None
+        else None
     )
+    try:
+        horizon = spec.horizon_s
+        for node in cameras.values():
+            node.start()
+            node.start_heartbeats(spec.heartbeat_s, until=horizon)
+            node.start_operation(spec.seconds_per_frame, until=horizon)
+        controller_node.enable_liveness(
+            spec.heartbeat_s,
+            miss_threshold=spec.miss_threshold,
+            until=horizon,
+        )
 
-    sim.run(until=horizon + spec.seconds_per_frame)
+        camera_algorithms = {}
+        for camera_id in dataset.camera_ids:
+            cam_plan = controller.camera_plan(camera_id, spec.budget)
+            if cam_plan is None:
+                continue
+            camera_algorithms[camera_id] = sorted(
+                p.algorithm
+                for p in cam_plan.item.profiles.values()
+                if p.energy_per_frame + cam_plan.communication_cost
+                <= cam_plan.budget
+            )
+        controller_node.start_assessment(
+            camera_algorithms, timeout_s=spec.assessment_timeout_s
+        )
+
+        sim.run(until=horizon + spec.seconds_per_frame)
+    finally:
+        if telemetry is not None:
+            controller_node.close_telemetry()
+            telemetry.tracer.end(run_span, simulated_s=sim.now)
 
     # Accuracy over the operational window, measured on what the
     # controller actually received: metadata from crashed cameras or

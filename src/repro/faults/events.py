@@ -11,6 +11,7 @@ instead of a bare accuracy number.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Union
 
 
 @dataclass(frozen=True)
@@ -53,16 +54,27 @@ class RecoveryEvent:
 
 @dataclass
 class FaultLog:
-    """An append-only, time-ordered log shared by injector and nodes."""
+    """An append-only, time-ordered log shared by injector and nodes.
+
+    An optional ``sink`` callback sees every recorded event as it is
+    appended — the telemetry subsystem attaches one to mirror faults
+    and recoveries into its unified event stream without this module
+    depending on telemetry.
+    """
 
     faults: list[FaultEvent] = field(default_factory=list)
     recoveries: list[RecoveryEvent] = field(default_factory=list)
+    sink: Union[
+        Callable[[Union[FaultEvent, RecoveryEvent]], None], None
+    ] = None
 
     def fault(
         self, time_s: float, kind: str, subject: str, detail: str = ""
     ) -> FaultEvent:
         event = FaultEvent(time_s, kind, subject, detail)
         self.faults.append(event)
+        if self.sink is not None:
+            self.sink(event)
         return event
 
     def recovery(
@@ -70,6 +82,8 @@ class FaultLog:
     ) -> RecoveryEvent:
         event = RecoveryEvent(time_s, kind, subject, detail)
         self.recoveries.append(event)
+        if self.sink is not None:
+            self.sink(event)
         return event
 
     def kinds(self) -> list[str]:

@@ -29,6 +29,7 @@ the behaviour is identical to the fault-free protocol):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -51,6 +52,9 @@ from repro.network.messages import (
 from repro.network.reliability import ReliableTransport, node_seed
 from repro.network.simulator import Node
 from repro.world.renderer import FrameObservation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.core import Telemetry
 
 
 class CameraSensorNode(Node):
@@ -75,6 +79,7 @@ class CameraSensorNode(Node):
         battery: Battery | None = None,
         rng: np.random.Generator | None = None,
         reliable: bool = False,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         super().__init__(node_id)
         self.controller_id = controller_id
@@ -90,7 +95,16 @@ class CameraSensorNode(Node):
             if rng is not None
             else np.random.default_rng(node_seed(node_id))
         )
-        self.transport = ReliableTransport(self) if reliable else None
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self.battery.instrument(
+                telemetry, node_id, clock=self._sim_now
+            )
+        self.transport = (
+            ReliableTransport(self, telemetry=telemetry)
+            if reliable
+            else None
+        )
         self.cursor = 0
         self.active_algorithm: str | None = None
         self.frames_processed = 0
@@ -103,16 +117,60 @@ class CameraSensorNode(Node):
     # ------------------------------------------------------------------
     # Energy accounting hooks
     # ------------------------------------------------------------------
+    def _sim_now(self) -> float:
+        return self.simulator.now if self.simulator is not None else 0.0
+
     def on_transmit(self, num_bytes: int, energy_joules: float) -> None:
-        self.battery.draw(energy_joules)
+        drawn = self.battery.draw(energy_joules)
+        if self.telemetry is not None:
+            from repro.energy.meter import EnergyMeter
+
+            # Radio energy spent inside a transport resend is the price
+            # of the lossy link, not of the protocol proper — keep the
+            # categories separate so chaos runs show the split.
+            category = (
+                EnergyMeter.RETRANSMISSION
+                if self.transport is not None
+                and self.transport.is_retransmitting
+                else EnergyMeter.COMMUNICATION
+            )
+            self.telemetry.energy_counter().inc(
+                drawn, node=self.node_id, category=category
+            )
 
     def _run_algorithm(
         self, observation: FrameObservation, algorithm: str
     ) -> list[Detection]:
-        self.battery.draw(self.energy_model.energy_per_frame(algorithm))
-        return self.detectors[algorithm].detect(
-            observation, self.rng, threshold=self.thresholds.get(algorithm)
+        drawn = self.battery.draw(
+            self.energy_model.energy_per_frame(algorithm)
         )
+        if self.telemetry is None:
+            return self.detectors[algorithm].detect(
+                observation,
+                self.rng,
+                threshold=self.thresholds.get(algorithm),
+            )
+        from repro.energy.meter import EnergyMeter
+
+        self.telemetry.energy_counter().inc(
+            drawn, node=self.node_id, category=EnergyMeter.PROCESSING
+        )
+        with self.telemetry.tracer.span(
+            "camera_op",
+            node=self.node_id,
+            algorithm=algorithm,
+            frame=observation.frame_index,
+            sim_time_s=self._sim_now(),
+        ):
+            detections = self.detectors[algorithm].detect(
+                observation,
+                self.rng,
+                threshold=self.thresholds.get(algorithm),
+            )
+        self.telemetry.observe_detections(
+            self.node_id, algorithm, detections
+        )
+        return detections
 
     @property
     def is_operational(self) -> bool:
@@ -346,17 +404,24 @@ class ControllerNode(Node):
         budget: float | None = None,
         reliable: bool = False,
         fault_log: FaultLog | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         super().__init__(node_id)
         self.controller = controller
         self.assessment_frames = assessment_frames
         self.budget = budget
+        self.telemetry = telemetry
         self.transport = (
-            ReliableTransport(self, on_give_up=self._on_give_up)
+            ReliableTransport(
+                self, on_give_up=self._on_give_up, telemetry=telemetry
+            )
             if reliable
             else None
         )
         self.fault_log = fault_log if fault_log is not None else FaultLog()
+        self._round_span = None
+        self._phase_span = None
+        self._round_index = 0
         self.energy_reports: dict[str, float] = {}
         self.last_heartbeat: dict[str, float] = {}
         self.operational_metadata: list[DetectionMetadata] = []
@@ -375,6 +440,33 @@ class ControllerNode(Node):
             self.transport.send(message)
         else:
             self.send(message)
+
+    # ------------------------------------------------------------------
+    # Telemetry span lifecycle (run → round → phase)
+    # ------------------------------------------------------------------
+    def _sim_now(self) -> float:
+        return self.simulator.now if self.simulator is not None else 0.0
+
+    def _enter_phase(self, name: str) -> None:
+        """Close the current phase span and open the next one."""
+        if self.telemetry is None:
+            return
+        tracer = self.telemetry.tracer
+        if self._phase_span is not None:
+            tracer.end(self._phase_span)
+        self._phase_span = tracer.begin(name, sim_time_s=self._sim_now())
+
+    def close_telemetry(self) -> None:
+        """End any open round/phase spans (end-of-run cleanup)."""
+        if self.telemetry is None:
+            return
+        tracer = self.telemetry.tracer
+        if self._phase_span is not None:
+            tracer.end(self._phase_span)
+            self._phase_span = None
+        if self._round_span is not None:
+            tracer.end(self._round_span)
+            self._round_span = None
 
     def receive(self, message: Message) -> None:
         if isinstance(message, Ack):
@@ -527,6 +619,19 @@ class ControllerNode(Node):
         mid-assessment), the round closes on whatever arrived instead
         of stalling forever.
         """
+        if self.telemetry is not None:
+            self.close_telemetry()
+            self._round_span = self.telemetry.tracer.begin(
+                "round",
+                index=self._round_index,
+                sim_time_s=self._sim_now(),
+            )
+            self._round_index += 1
+            self._enter_phase("assessment")
+            self.telemetry.registry.counter(
+                "run_rounds_total",
+                "Assessment/selection rounds executed.",
+            ).inc()
         self._collector = _AssessmentCollector(
             expected_frames=self.assessment_frames
         )
@@ -595,30 +700,36 @@ class ControllerNode(Node):
         )
 
     def _finish_assessment(self) -> None:
-        assessment = self._collector.to_assessment()
-        self._collector = None
-        self._assessment_deadline = None
-        if not assessment.frames:
-            self.fault_log.fault(
-                self.simulator.now if self.simulator else 0.0,
-                "assessment_empty",
-                self.node_id,
-                "no metadata arrived; keeping the previous selection",
-            )
-            return
-        self.last_assessment = assessment
+        self._enter_phase("selection")
         try:
-            decision = self._decide(assessment)
-        except RuntimeError as exc:
-            self.fault_log.fault(
-                self.simulator.now if self.simulator else 0.0,
-                "selection_failed",
-                self.node_id,
-                str(exc),
-            )
-            return
-        self.decisions.append(decision)
-        self._push_assignments(decision)
+            assessment = self._collector.to_assessment()
+            self._collector = None
+            self._assessment_deadline = None
+            if not assessment.frames:
+                self.fault_log.fault(
+                    self.simulator.now if self.simulator else 0.0,
+                    "assessment_empty",
+                    self.node_id,
+                    "no metadata arrived; keeping the previous selection",
+                )
+                return
+            self.last_assessment = assessment
+            try:
+                decision = self._decide(assessment)
+            except RuntimeError as exc:
+                self.fault_log.fault(
+                    self.simulator.now if self.simulator else 0.0,
+                    "selection_failed",
+                    self.node_id,
+                    str(exc),
+                )
+                return
+            self.decisions.append(decision)
+            self._push_assignments(decision)
+        finally:
+            # Whatever happened to selection, the fleet moves on to (or
+            # keeps) operating — the span tree should show that phase.
+            self._enter_phase("operation")
 
     def _push_assignments(self, decision) -> None:
         for camera_id in self.controller.alive_camera_ids:

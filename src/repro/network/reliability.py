@@ -31,6 +31,7 @@ from repro.network.messages import Ack, Message, UNSEQUENCED
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.simulator import Node
+    from repro.telemetry.core import Telemetry
 
 
 def node_seed(node_id: str) -> int:
@@ -48,6 +49,7 @@ class _Pending:
 
     message: Message
     attempts: int = 0
+    first_sent_at: float = 0.0
 
 
 class ReliableTransport:
@@ -69,6 +71,7 @@ class ReliableTransport:
         jitter_s: float = 0.02,
         rng: np.random.Generator | None = None,
         on_give_up: Callable[[Message], None] | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if timeout_s <= 0:
             raise ValueError("timeout must be positive")
@@ -87,6 +90,7 @@ class ReliableTransport:
             if rng is not None
             else np.random.default_rng(node_seed(node.node_id))
         )
+        self.telemetry = telemetry
         self._next_seq = 0
         self._pending: dict[int, _Pending] = {}
         self._seen: dict[str, set[int]] = {}
@@ -94,6 +98,20 @@ class ReliableTransport:
         self.gave_up = 0
         self.duplicates_dropped = 0
         self.acks_sent = 0
+        #: True while this transport is re-sending a timed-out message
+        #: — lets the owning node attribute the radio energy of that
+        #: attempt to the "retransmission" category.
+        self.is_retransmitting = False
+
+    def _count(self, name: str, help: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.registry.counter(
+                name, help, labels=("node",)
+            ).inc(node=self.node.node_id)
+
+    def _now(self) -> float:
+        sim = self.node.simulator
+        return sim.now if sim is not None else 0.0
 
     # ------------------------------------------------------------------
     # Sender side
@@ -110,7 +128,7 @@ class ReliableTransport:
         seq = self._next_seq
         self._next_seq += 1
         message.seq = seq
-        self._pending[seq] = _Pending(message)
+        self._pending[seq] = _Pending(message, first_sent_at=self._now())
         self.node.send(message)
         self._arm_timeout(seq)
         return seq
@@ -134,17 +152,44 @@ class ReliableTransport:
         if pending.attempts >= self.max_retries:
             del self._pending[seq]
             self.gave_up += 1
+            self._count(
+                "network_give_ups_total",
+                "Messages abandoned after exhausting their retry cap.",
+            )
             if self.on_give_up is not None:
                 self.on_give_up(pending.message)
             return
         pending.attempts += 1
         self.retransmissions += 1
-        self.node.send(pending.message)
+        self._count(
+            "network_retransmissions_total",
+            "Timeout-triggered message resends.",
+        )
+        self.is_retransmitting = True
+        try:
+            self.node.send(pending.message)
+        finally:
+            self.is_retransmitting = False
         self._arm_timeout(seq)
 
     def handle_ack(self, ack: Ack) -> bool:
         """Resolve a pending message; returns False for stale acks."""
-        return self._pending.pop(ack.acked_seq, None) is not None
+        pending = self._pending.pop(ack.acked_seq, None)
+        if pending is None:
+            return False
+        if self.telemetry is not None:
+            from repro.telemetry.core import ACK_LATENCY_BUCKETS
+
+            self.telemetry.registry.histogram(
+                "network_ack_latency_seconds",
+                "Simulated seconds from first transmission to ack.",
+                labels=("node",),
+                buckets=ACK_LATENCY_BUCKETS,
+            ).observe(
+                self._now() - pending.first_sent_at,
+                node=self.node.node_id,
+            )
+        return True
 
     # ------------------------------------------------------------------
     # Receiver side
@@ -170,6 +215,10 @@ class ReliableTransport:
         seen = self._seen.setdefault(message.sender, set())
         if message.seq in seen:
             self.duplicates_dropped += 1
+            self._count(
+                "network_duplicates_total",
+                "Received duplicates suppressed by sequence tracking.",
+            )
             return False
         seen.add(message.seq)
         return True

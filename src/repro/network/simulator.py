@@ -33,6 +33,7 @@ from repro.network.messages import Message
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
+    from repro.telemetry.core import Telemetry
 
 
 @dataclass(order=True)
@@ -45,7 +46,7 @@ class _Event:
 class EventSimulator:
     """Priority-queue discrete-event loop with message routing."""
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: "Telemetry | None" = None) -> None:
         self._queue: list[_Event] = []
         self._seq = itertools.count()
         self._now = 0.0
@@ -54,9 +55,59 @@ class EventSimulator:
         self._severed: dict[tuple[str, str], WirelessLink] = {}
         self._down_nodes: set[str] = set()
         self.fault_injector: "FaultInjector | None" = None
+        self.telemetry = telemetry
         self.delivered_messages = 0
         self.dropped_messages = 0
         self.transferred_bytes = 0
+        # Instruments resolved once per simulator (per-send registry
+        # lookups would dominate the telemetry cost).
+        if telemetry is not None:
+            from repro.telemetry.core import ACK_LATENCY_BUCKETS
+
+            registry = telemetry.registry
+            self._m_dropped = registry.counter(
+                "network_messages_dropped_total",
+                "Messages that never reached their recipient, by cause.",
+                labels=("reason",),
+            )
+            self._m_sent = registry.counter(
+                "network_messages_sent_total",
+                "Messages keyed onto the radio, by message kind.",
+                labels=("kind",),
+            )
+            self._m_bytes = registry.counter(
+                "network_bytes_sent_total", "Payload bytes transmitted."
+            )
+            self._m_delivered = registry.counter(
+                "network_messages_delivered_total",
+                "Messages handed to their recipient, by message kind.",
+                labels=("kind",),
+            )
+            self._m_latency = registry.histogram(
+                "network_delivery_latency_seconds",
+                "Link transfer time plus injected latency per delivery.",
+                buckets=ACK_LATENCY_BUCKETS,
+            )
+
+    # ------------------------------------------------------------------
+    # Telemetry (no-ops when no Telemetry is attached)
+    # ------------------------------------------------------------------
+    def _count_drop(self, reason: str) -> None:
+        self.dropped_messages += 1
+        if self.telemetry is not None:
+            self._m_dropped.inc(reason=reason)
+
+    def _count_send(self, message: Message, size: int) -> None:
+        if self.telemetry is None:
+            return
+        self._m_sent.inc(kind=message.kind)
+        self._m_bytes.inc(size)
+
+    def _count_delivery(self, message: Message, latency_s: float) -> None:
+        if self.telemetry is None:
+            return
+        self._m_delivered.inc(kind=message.kind)
+        self._m_latency.observe(latency_s)
 
     # ------------------------------------------------------------------
     # Topology
@@ -195,32 +246,36 @@ class EventSimulator:
         if message.sender in self._down_nodes:
             # A crashed node's radio is off: nothing leaves the antenna
             # and no transmission energy is spent.
-            self.dropped_messages += 1
+            self._count_drop("sender_down")
             return
         sender = self._nodes[message.sender]
         recipient = self._nodes[message.recipient]
         size = message.size_bytes
         sender.on_transmit(size, link.transfer_energy(size))
         self.transferred_bytes += size
+        self._count_send(message, size)
 
         extra_latency = 0.0
-        dropped = severed
+        loss = False
         if self.fault_injector is not None:
             verdict = self.fault_injector.on_send(message)
-            dropped = dropped or verdict.drop
+            loss = verdict.drop
             extra_latency = verdict.extra_latency_s
-        if dropped:
-            self.dropped_messages += 1
+        if severed or loss:
+            self._count_drop("link_severed" if severed else "link_loss")
             return
+
+        latency = link.transfer_time(size) + extra_latency
 
         def deliver() -> None:
             if message.recipient in self._down_nodes:
-                self.dropped_messages += 1
+                self._count_drop("recipient_down")
                 return
             self.delivered_messages += 1
+            self._count_delivery(message, latency)
             recipient.receive(message)
 
-        self.schedule(link.transfer_time(size) + extra_latency, deliver)
+        self.schedule(latency, deliver)
 
     def run(self, until: float | None = None, max_events: int = 1_000_000) -> int:
         """Drain the event queue; returns the number of events run."""

@@ -50,10 +50,21 @@ class TimingReport:
 
     def merge(self, other: "TimingReport") -> None:
         """Fold another report's aggregates into this one."""
-        for name, stats in other._sections.items():
+        for name, stats in other.items():
             mine = self._sections.setdefault(name, SectionStats())
             mine.calls += stats.calls
             mine.total_seconds += stats.total_seconds
+
+    def items(self) -> Iterator[tuple[str, SectionStats]]:
+        """Iterate ``(name, stats)`` pairs — the public view consumed
+        by :meth:`merge` and by the telemetry Tracer adapter.
+
+        Yields copies, so callers cannot mutate the aggregates.
+        """
+        for name, stats in self._sections.items():
+            yield name, SectionStats(
+                calls=stats.calls, total_seconds=stats.total_seconds
+            )
 
     @property
     def sections(self) -> dict[str, SectionStats]:

@@ -1,0 +1,55 @@
+"""Telemetry: always-on metrics, run traces and structured events.
+
+The observability substrate of the reproduction.  One
+:class:`~repro.telemetry.core.Telemetry` object bundles:
+
+* a :class:`~repro.telemetry.metrics.MetricsRegistry` of
+  Prometheus-style ``Counter`` / ``Gauge`` / ``Histogram`` instruments
+  (labels, fixed-bucket histograms, snapshot + merge, JSON and text
+  exposition) cheap enough to stay on in the hot loops;
+* a :class:`~repro.telemetry.trace.Tracer` of hierarchical spans
+  (run → round → phase → per-camera op) that subsumes
+  :class:`repro.perf.timing.TimingReport` and exports JSONL;
+* an :class:`~repro.telemetry.events.EventLog` of
+  :class:`~repro.telemetry.events.TelemetryEvent` records — controller
+  decisions, battery threshold crossings, reliability give-ups, and
+  every fault/recovery the fault subsystem logs.
+
+All instrumentation is opt-in (``telemetry=None`` everywhere) and
+never touches a random stream, so telemetry-enabled and -disabled
+runs produce bit-identical simulation output.
+"""
+
+from repro.telemetry.core import (
+    ACK_LATENCY_BUCKETS,
+    BATTERY_THRESHOLDS,
+    SCORE_BUCKETS,
+    Telemetry,
+)
+from repro.telemetry.events import EventLog, TelemetryEvent, fault_log_sink
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.telemetry.trace import Span, Tracer, TracingTimingReport
+
+__all__ = [
+    "ACK_LATENCY_BUCKETS",
+    "BATTERY_THRESHOLDS",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "SCORE_BUCKETS",
+    "Span",
+    "Telemetry",
+    "TelemetryEvent",
+    "Tracer",
+    "TracingTimingReport",
+    "fault_log_sink",
+]

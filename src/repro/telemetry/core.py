@@ -1,0 +1,190 @@
+"""The :class:`Telemetry` facade and shared instrument helpers.
+
+One ``Telemetry`` object bundles the three sinks a run needs — a
+:class:`~repro.telemetry.metrics.MetricsRegistry`, a
+:class:`~repro.telemetry.trace.Tracer` and an
+:class:`~repro.telemetry.events.EventLog` — under one run id, and is
+what gets threaded through the deployment loop.  Everything is opt-in:
+instrumented code takes ``telemetry: Telemetry | None`` and skips all
+recording when it is ``None``, so un-instrumented behaviour (and
+bit-identical simulation output) is the default.
+
+The module also centralises the metric names and label schemas used
+across layers, so producers, the report renderer and the tests agree
+on one vocabulary.
+"""
+
+from __future__ import annotations
+
+import uuid
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.telemetry.events import EventLog, fault_log_sink
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import Tracer, TracingTimingReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.detection.base import Detection
+    from repro.faults.events import FaultLog
+
+#: Detection-score histogram bounds: raw detector confidences span
+#: roughly [-2, 5] across the suite's algorithms.
+SCORE_BUCKETS = (
+    -2.0, -1.0, -0.5, 0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 5.0
+)
+
+#: Ack round-trip latencies in simulated seconds (stop-and-wait with
+#: 0.25 s initial timeout and exponential backoff).
+ACK_LATENCY_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0)
+
+#: Battery fractions whose downward crossing emits an event.
+BATTERY_THRESHOLDS = (0.75, 0.5, 0.25, 0.1)
+
+
+class Telemetry:
+    """Metrics + trace + events for one run, under one run id."""
+
+    def __init__(
+        self,
+        run_id: str | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        events: EventLog | None = None,
+    ) -> None:
+        self.run_id = run_id or uuid.uuid4().hex[:12]
+        self.registry = registry or MetricsRegistry()
+        self.tracer = tracer or Tracer(run_id=self.run_id)
+        self.tracer.run_id = self.run_id
+        self.events = events or EventLog(run_id=self.run_id)
+        self.events.run_id = self.run_id
+        # Hot-loop instruments, resolved through the registry once and
+        # then handed back without the get-or-create lookup.
+        self._energy_counter = None
+        self._battery_gauge = None
+        self._detection_frames = None
+        self._detection_objects = None
+        self._detection_scores = None
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def event(
+        self,
+        kind: str,
+        time_s: float = 0.0,
+        node_id: str = "",
+        **detail: object,
+    ) -> None:
+        self.events.emit(kind, time_s=time_s, node_id=node_id, **detail)
+
+    def timing_adapter(self) -> TracingTimingReport:
+        """A ``TimingReport`` whose sections also emit spans here."""
+        return TracingTimingReport(self.tracer)
+
+    def fault_sink(self):
+        """A ``FaultLog(sink=...)`` callback: mirrors fault/recovery
+        events into the event log and counts them by kind."""
+        mirror = fault_log_sink(self.events)
+        counter = self.registry.counter(
+            "fault_events_total",
+            "Fault and recovery events recorded, by kind.",
+            labels=("kind",),
+        )
+
+        def sink(event: object) -> None:
+            mirror(event)
+            counter.inc(kind=getattr(event, "kind", "fault"))
+
+        return sink
+
+    def attach_fault_log(self, log: "FaultLog") -> None:
+        """Mirror an existing fault log's future events here."""
+        log.sink = self.fault_sink()
+
+    # ------------------------------------------------------------------
+    # Shared instruments (get-or-create; cheap to call in hot loops)
+    # ------------------------------------------------------------------
+    def energy_counter(self):
+        if self._energy_counter is None:
+            self._energy_counter = self.registry.counter(
+                "energy_joules_total",
+                "Energy drawn, by node and category "
+                "(processing/communication/retransmission).",
+                labels=("node", "category"),
+            )
+        return self._energy_counter
+
+    def battery_gauge(self):
+        if self._battery_gauge is None:
+            self._battery_gauge = self.registry.gauge(
+                "battery_fraction_remaining",
+                "Residual battery fraction per node.",
+                labels=("node",),
+            )
+        return self._battery_gauge
+
+    def detection_frames_counter(self):
+        if self._detection_frames is None:
+            self._detection_frames = self.registry.counter(
+                "detection_frames_total",
+                "Frames processed, by node and algorithm.",
+                labels=("node", "algorithm"),
+            )
+        return self._detection_frames
+
+    def detection_objects_counter(self):
+        if self._detection_objects is None:
+            self._detection_objects = self.registry.counter(
+                "detection_objects_total",
+                "Objects detected, by node and algorithm.",
+                labels=("node", "algorithm"),
+            )
+        return self._detection_objects
+
+    def detection_score_histogram(self):
+        if self._detection_scores is None:
+            self._detection_scores = self.registry.histogram(
+                "detection_score",
+                "Raw detector confidence distribution, by algorithm.",
+                labels=("algorithm",),
+                buckets=SCORE_BUCKETS,
+            )
+        return self._detection_scores
+
+    def observe_detections(
+        self, node_id: str, algorithm: str, detections: "list[Detection]"
+    ) -> None:
+        """Record one detection op's frame count, object count and
+        score distribution."""
+        self.detection_frames_counter().inc(
+            node=node_id, algorithm=algorithm
+        )
+        if detections:
+            self.detection_objects_counter().inc(
+                len(detections), node=node_id, algorithm=algorithm
+            )
+            score_hist = self.detection_score_histogram()
+            for det in detections:
+                score_hist.observe(det.score, algorithm=algorithm)
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def write_metrics(self, path: str | Path) -> None:
+        """Write the metrics snapshot; ``.prom``/``.txt`` suffixes get
+        the text exposition format, everything else JSON."""
+        path = Path(path)
+        if path.suffix in (".prom", ".txt"):
+            path.write_text(self.registry.render_text(), encoding="utf-8")
+        else:
+            path.write_text(
+                self.registry.to_json(indent=2) + "\n", encoding="utf-8"
+            )
+
+    def write_trace(self, path: str | Path) -> int:
+        self.tracer.finish()
+        return self.tracer.write_jsonl(path)
+
+    def write_events(self, path: str | Path) -> int:
+        return self.events.write_jsonl(path)

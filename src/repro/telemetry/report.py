@@ -1,0 +1,161 @@
+"""Human-readable rendering of telemetry dumps.
+
+Backs the ``python -m repro telemetry-report`` CLI: load the files a
+run emitted (``--metrics-out`` JSON, ``--trace-out`` span JSONL,
+``--events-out`` event JSONL), validate them against the documented
+schemas, and print summary tables an operator can actually read —
+metric series grouped by instrument, the span tree aggregated by
+position (so a thousand ``camera_op`` spans render as one line with a
+count), and an event timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.schema import (
+    validate_event_record,
+    validate_metrics_payload,
+    validate_span_record,
+)
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_metrics_report(payload: dict) -> str:
+    """Summary table of every metric series in a snapshot payload."""
+    validate_metrics_payload(payload)
+    lines: list[str] = []
+    total_series = 0
+    for entry in payload["metrics"]:
+        series = entry["series"]
+        total_series += len(series)
+        lines.append(
+            f"{entry['name']}  [{entry['type']}]"
+            + (f"  — {entry['help']}" if entry["help"] else "")
+        )
+        for s in series:
+            labels = ", ".join(
+                f"{k}={v}" for k, v in sorted(s["labels"].items())
+            )
+            labels = f"{{{labels}}}" if labels else ""
+            if entry["type"] == "histogram":
+                count = s["count"]
+                mean = s["sum"] / count if count else 0.0
+                lines.append(
+                    f"  {labels:<40} count={count}  "
+                    f"sum={_format_value(s['sum'])}  mean={mean:.4g}"
+                )
+            else:
+                lines.append(
+                    f"  {labels:<40} {_format_value(s['value'])}"
+                )
+        lines.append("")
+    header = (
+        f"METRICS — {len(payload['metrics'])} instruments, "
+        f"{total_series} series"
+    )
+    return "\n".join([header, "=" * len(header), ""] + lines).rstrip() + "\n"
+
+
+def _span_tree_lines(records: list[dict]) -> list[str]:
+    """Aggregate spans by (tree position, name) and render indented.
+
+    Sibling spans sharing a name collapse into one line carrying their
+    count and total duration; children aggregate across the whole
+    sibling group, so the tree stays readable however many rounds or
+    per-camera ops a run produced.
+    """
+    children: dict[int | None, list[dict]] = {}
+    for record in records:
+        children.setdefault(record["parent_id"], []).append(record)
+
+    lines: list[str] = []
+
+    def group_by_name(group: list[dict]) -> dict[str, list[dict]]:
+        out: dict[str, list[dict]] = {}
+        for record in group:
+            out.setdefault(record["name"], []).append(record)
+        return out
+
+    def render_group(name: str, group: list[dict], depth: int) -> None:
+        total = sum(r["duration_s"] for r in group)
+        lines.append(
+            f"{'  ' * depth}{name:<{max(1, 28 - 2 * depth)}} "
+            f"{len(group):>5}x  {total:>9.3f}s"
+        )
+        grand: list[dict] = []
+        for record in group:
+            grand.extend(children.get(record["span_id"], ()))
+        for sub_name, sub_group in group_by_name(grand).items():
+            render_group(sub_name, sub_group, depth + 1)
+
+    for name, group in group_by_name(children.get(None, [])).items():
+        render_group(name, group, 0)
+    return lines
+
+
+def render_trace_report(records: list[dict]) -> str:
+    """Aggregated span tree of a trace dump."""
+    for i, record in enumerate(records):
+        validate_span_record(record, where=f"trace[{i}]")
+    header = f"TRACE — {len(records)} spans"
+    lines = [header, "=" * len(header)]
+    if records:
+        lines.append(f"{'span':<29} {'calls':>6}  {'total':>10}")
+        lines.extend(_span_tree_lines(records))
+    return "\n".join(lines) + "\n"
+
+
+def render_events_report(records: list[dict], limit: int = 40) -> str:
+    """Per-kind counts plus a bounded timeline."""
+    for i, record in enumerate(records):
+        validate_event_record(record, where=f"events[{i}]")
+    header = f"EVENTS — {len(records)} records"
+    lines = [header, "=" * len(header)]
+    by_kind: dict[str, int] = {}
+    for record in records:
+        by_kind[record["kind"]] = by_kind.get(record["kind"], 0) + 1
+    for kind, count in sorted(by_kind.items()):
+        lines.append(f"  {kind:<32} {count:>6}")
+    if records:
+        lines.append("")
+        lines.append("timeline" + (f" (first {limit})" if len(records) > limit else ""))
+        for record in sorted(records, key=lambda r: r["time_s"])[:limit]:
+            detail = ", ".join(
+                f"{k}={v}" for k, v in sorted(record["detail"].items())
+            )
+            lines.append(
+                f"  t={record['time_s']:8.2f}s  {record['kind']:<24} "
+                f"{record['node_id']:<10} {detail}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def render_files(
+    metrics_path: str | Path | None = None,
+    trace_path: str | Path | None = None,
+    events_path: str | Path | None = None,
+) -> str:
+    """Load and render whichever dump files were provided."""
+    from repro.telemetry.schema import _load_jsonl
+
+    parts: list[str] = []
+    if metrics_path is not None:
+        payload = json.loads(Path(metrics_path).read_text(encoding="utf-8"))
+        parts.append(render_metrics_report(payload))
+    if trace_path is not None:
+        parts.append(render_trace_report(_load_jsonl(trace_path)))
+    if events_path is not None:
+        parts.append(render_events_report(_load_jsonl(events_path)))
+    if not parts:
+        raise ValueError(
+            "nothing to render: pass at least one of "
+            "--metrics/--trace/--events"
+        )
+    return "\n".join(parts)

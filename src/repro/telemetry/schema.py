@@ -1,0 +1,178 @@
+"""Documented schemas for the telemetry dump formats, plus validators.
+
+Three artefacts leave a run:
+
+``--metrics-out`` (JSON, ``repro.metrics.v1``)::
+
+    {"schema": "repro.metrics.v1",
+     "metrics": [{"name": str, "type": "counter"|"gauge"|"histogram",
+                  "help": str, "labels": [str, ...],
+                  ("buckets": [float, ...],)      # histograms only
+                  "series": [{"labels": {str: str},
+                              "value": float}     # counter/gauge
+                             |{"labels": {str: str},
+                               "bucket_counts": [int, ...],
+                               "count": int, "sum": float}]}]}
+
+``--trace-out`` (JSONL, one ``repro.span.v1`` record per line)::
+
+    {"schema": "repro.span.v1", "run_id": str, "span_id": int,
+     "parent_id": int|null, "name": str, "start_s": float,
+     "duration_s": float, "attributes": {...}}
+
+``--events-out`` (JSONL, one ``repro.event.v1`` record per line)::
+
+    {"schema": "repro.event.v1", "run_id": str, "time_s": float,
+     "kind": str, "node_id": str, "detail": {...}}
+
+The validators raise :class:`SchemaError` naming the offending field;
+they are used by the local pytest suite and by the ``telemetry-smoke``
+CI job, so the documented schema and the emitted bytes cannot drift
+apart silently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+METRICS_SCHEMA = "repro.metrics.v1"
+SPAN_SCHEMA = "repro.span.v1"
+EVENT_SCHEMA = "repro.event.v1"
+
+
+class SchemaError(ValueError):
+    """A telemetry payload does not match its documented schema."""
+
+
+def _require(record: dict, name: str, types, where: str):
+    if name not in record:
+        raise SchemaError(f"{where}: missing field {name!r}")
+    value = record[name]
+    if not isinstance(value, types):
+        raise SchemaError(
+            f"{where}: field {name!r} has type {type(value).__name__}, "
+            f"expected {types}"
+        )
+    return value
+
+
+def validate_span_record(record: dict, where: str = "span") -> None:
+    if _require(record, "schema", str, where) != SPAN_SCHEMA:
+        raise SchemaError(f"{where}: schema is not {SPAN_SCHEMA!r}")
+    _require(record, "run_id", str, where)
+    _require(record, "span_id", int, where)
+    if record.get("parent_id") is not None:
+        _require(record, "parent_id", int, where)
+    name = _require(record, "name", str, where)
+    if not name:
+        raise SchemaError(f"{where}: empty span name")
+    _require(record, "start_s", (int, float), where)
+    duration = _require(record, "duration_s", (int, float), where)
+    if duration < 0:
+        raise SchemaError(f"{where}: negative duration")
+    _require(record, "attributes", dict, where)
+
+
+def validate_event_record(record: dict, where: str = "event") -> None:
+    if _require(record, "schema", str, where) != EVENT_SCHEMA:
+        raise SchemaError(f"{where}: schema is not {EVENT_SCHEMA!r}")
+    _require(record, "run_id", str, where)
+    _require(record, "time_s", (int, float), where)
+    if not _require(record, "kind", str, where):
+        raise SchemaError(f"{where}: empty event kind")
+    _require(record, "node_id", str, where)
+    _require(record, "detail", dict, where)
+
+
+def validate_metrics_payload(payload: dict, where: str = "metrics") -> None:
+    if _require(payload, "schema", str, where) != METRICS_SCHEMA:
+        raise SchemaError(f"{where}: schema is not {METRICS_SCHEMA!r}")
+    metrics = _require(payload, "metrics", list, where)
+    for entry in metrics:
+        if not isinstance(entry, dict):
+            raise SchemaError(f"{where}: metric entry is not an object")
+        name = _require(entry, "name", str, where)
+        here = f"{where}.{name}"
+        kind = _require(entry, "type", str, here)
+        if kind not in ("counter", "gauge", "histogram"):
+            raise SchemaError(f"{here}: unknown type {kind!r}")
+        _require(entry, "help", str, here)
+        labels = _require(entry, "labels", list, here)
+        series = _require(entry, "series", list, here)
+        if kind == "histogram":
+            buckets = _require(entry, "buckets", list, here)
+            if sorted(buckets) != buckets:
+                raise SchemaError(f"{here}: buckets not sorted")
+        for i, s in enumerate(series):
+            swhere = f"{here}.series[{i}]"
+            slabels = _require(s, "labels", dict, swhere)
+            if set(slabels) != set(labels):
+                raise SchemaError(
+                    f"{swhere}: label keys {sorted(slabels)} do not "
+                    f"match declared {sorted(labels)}"
+                )
+            if kind == "histogram":
+                counts = _require(s, "bucket_counts", list, swhere)
+                if len(counts) != len(entry["buckets"]) + 1:
+                    raise SchemaError(
+                        f"{swhere}: expected "
+                        f"{len(entry['buckets']) + 1} bucket counts"
+                    )
+                count = _require(s, "count", int, swhere)
+                if sum(counts) != count:
+                    raise SchemaError(
+                        f"{swhere}: bucket counts sum to {sum(counts)}, "
+                        f"count says {count}"
+                    )
+                _require(s, "sum", (int, float), swhere)
+            else:
+                _require(s, "value", (int, float), swhere)
+
+
+def _load_jsonl(path: str | Path) -> list[dict]:
+    records = []
+    for lineno, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"{path}:{lineno}: invalid JSON: {exc}")
+    return records
+
+
+def validate_trace_file(path: str | Path) -> int:
+    """Validate a span JSONL dump; returns the span count."""
+    records = _load_jsonl(path)
+    ids = set()
+    for i, record in enumerate(records):
+        validate_span_record(record, where=f"{path}:{i + 1}")
+        ids.add(record["span_id"])
+    for i, record in enumerate(records):
+        parent = record.get("parent_id")
+        if parent is not None and parent not in ids:
+            raise SchemaError(
+                f"{path}:{i + 1}: parent_id {parent} references no span"
+            )
+    return len(records)
+
+
+def validate_events_file(path: str | Path) -> int:
+    """Validate an event JSONL dump; returns the event count."""
+    records = _load_jsonl(path)
+    for i, record in enumerate(records):
+        validate_event_record(record, where=f"{path}:{i + 1}")
+    return len(records)
+
+
+def validate_metrics_file(path: str | Path) -> int:
+    """Validate a metrics JSON dump; returns the metric count."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path}: invalid JSON: {exc}")
+    validate_metrics_payload(payload, where=str(path))
+    return len(payload["metrics"])

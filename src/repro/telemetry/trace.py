@@ -1,0 +1,213 @@
+"""Hierarchical run traces.
+
+A :class:`Tracer` records *spans* — named, attributed, wall-clock
+timed intervals arranged in a tree: run → round → phase → per-camera
+op.  Spans come from the :meth:`Tracer.span` context manager in
+straight-line code, or from the explicit :meth:`Tracer.begin` /
+:meth:`Tracer.end` pair when the interval is driven by discrete
+events (the chaos controller opens a round span when an assessment
+starts and closes it when the next one begins).
+
+The tracer subsumes :class:`repro.perf.timing.TimingReport`: the
+section aggregates that back the ``--perf-report`` CLI flag are one
+:meth:`Tracer.to_timing_report` away, and
+:class:`TracingTimingReport` is a drop-in ``TimingReport`` whose
+sections also emit spans, so existing callers keep their aggregate
+view while gaining the tree.  Export is JSONL, one span per line
+(see ``repro.telemetry.schema`` for the record layout).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.perf.timing import TimingReport
+
+
+@dataclass
+class Span:
+    """One timed interval in the run tree.
+
+    Attributes:
+        span_id: Unique within the tracer, assigned at begin time.
+        parent_id: Enclosing span's id, ``None`` for roots.
+        name: What the interval is (``"run"``, ``"round"``, ...).
+        start_s: Wall-clock start, tracer-clock seconds.
+        end_s: Wall-clock end; ``None`` while the span is open.
+        attributes: Free-form context (mode, round index, camera id,
+            simulated time, ...) — JSON-able values only.
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start_s: float
+    end_s: float | None = None
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def to_record(self, run_id: str = "") -> dict:
+        """The span's JSONL record."""
+        return {
+            "schema": "repro.span.v1",
+            "run_id": run_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Tracer:
+    """Collects a tree of spans for one process/run."""
+
+    def __init__(
+        self,
+        run_id: str = "",
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.run_id = run_id
+        self._clock = clock
+        self._next_id = 0
+        self._stack: list[Span] = []
+        self.spans: list[Span] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def begin(self, name: str, **attributes: object) -> Span:
+        """Open a span under the innermost open span."""
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            start_s=self._clock(),
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span, **attributes: object) -> Span:
+        """Close a span (and any deeper spans left open inside it)."""
+        end_s = self._clock()
+        if span.end_s is not None:
+            return span
+        while self._stack:
+            top = self._stack.pop()
+            if top.end_s is None:
+                top.end_s = end_s
+            if top is span:
+                break
+        else:
+            span.end_s = end_s
+        span.attributes.update(attributes)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Context-managed :meth:`begin`/:meth:`end` pair."""
+        opened = self.begin(name, **attributes)
+        try:
+            yield opened
+        finally:
+            self.end(opened)
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+    def finish(self) -> None:
+        """Close every span still open (end-of-run cleanup)."""
+        while self._stack:
+            self.end(self._stack[-1])
+
+    # ------------------------------------------------------------------
+    # TimingReport interop
+    # ------------------------------------------------------------------
+    def to_timing_report(self) -> TimingReport:
+        """Aggregate closed spans by name into a ``TimingReport``."""
+        report = TimingReport()
+        for span in self.spans:
+            if span.end_s is not None:
+                report.record(span.name, span.duration_s)
+        return report
+
+    def absorb_timing(self, report: TimingReport) -> None:
+        """Import a legacy ``TimingReport`` as flat aggregate spans.
+
+        Uses the report's public :meth:`TimingReport.items` iteration
+        API; each section becomes one root span whose attributes carry
+        the call count and mean.
+        """
+        now = self._clock()
+        for name, stats in report.items():
+            span = Span(
+                span_id=self._next_id,
+                parent_id=None,
+                name=name,
+                start_s=now,
+                end_s=now + stats.total_seconds,
+                attributes={
+                    "calls": stats.calls,
+                    "mean_seconds": stats.mean_seconds,
+                    "aggregate": True,
+                },
+            )
+            self._next_id += 1
+            self.spans.append(span)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def iter_records(self) -> Iterator[dict]:
+        for span in self.spans:
+            if span.end_s is not None:
+                yield span.to_record(self.run_id)
+
+    def write_jsonl(self, path: str | Path) -> int:
+        """Write one JSON record per closed span; returns the count."""
+        records = list(self.iter_records())
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(records)
+
+
+class TracingTimingReport(TimingReport):
+    """A ``TimingReport`` whose sections also emit tracer spans.
+
+    Drop-in for code that already wraps its phases in
+    ``timing.section(...)``: the aggregate view (``format_report``,
+    ``as_dict``) is unchanged, and every section entry additionally
+    opens a span on the backing tracer, nesting under whatever span is
+    currently open there.  ``record()`` calls without a live interval
+    (merges, manual accounting) stay aggregate-only.
+    """
+
+    def __init__(self, tracer: Tracer) -> None:
+        super().__init__()
+        self.tracer = tracer
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        span = self.tracer.begin(name)
+        try:
+            yield
+        finally:
+            self.tracer.end(span)
+            self.record(name, time.perf_counter() - start)
