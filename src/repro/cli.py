@@ -160,17 +160,26 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.core.runner import SimulationRunner
-    from repro.datasets.synthetic import make_dataset
+    from repro.engine.spec import DeploymentSpec
+    from repro.perf.timing import TimingReport
 
     telemetry = _make_telemetry(args)
-    runner = SimulationRunner(
-        make_dataset(args.dataset),
+    if telemetry is not None:
+        from repro.telemetry.trace import TracingTimingReport
+
+        timing = TracingTimingReport(telemetry.tracer)
+    else:
+        timing = TimingReport()
+    spec = DeploymentSpec(
+        dataset_number=args.dataset,
+        policy=args.mode,
+        budget=args.budget,
         seed=args.seed,
+        train_seed=args.seed,
         workers=args.workers,
-        telemetry=telemetry,
     )
-    result = runner.run(mode=args.mode, budget=args.budget)
+    engine = spec.build_engine(telemetry=telemetry, timing=timing)
+    result = spec.execute(engine=engine)
     print(f"mode:            {result.mode}")
     print(f"humans detected: {result.humans_detected}/{result.humans_present}")
     print(f"energy:          {result.energy_joules:.1f} J "
@@ -180,9 +189,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cameras = [d.num_active for d in result.decisions]
         print(f"cameras/round:   {cameras}")
     if args.perf_report:
-        stats = runner.library.cache_stats()
+        stats = engine.library.cache_stats()
         print()
-        print(runner.timing.format_report())
+        print(engine.timing.format_report())
         print(
             f"calibration cache: {stats['hits']} hits, "
             f"{stats['misses']} misses, {stats['entries']} entries "
@@ -194,8 +203,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.core.runner import SimulationRunner
-    from repro.datasets.synthetic import make_dataset
+    from repro.engine.context import shared_context
+    from repro.engine.core import DeploymentEngine
     from repro.experiments.faults import (
         ChaosSpec,
         accuracy_retention,
@@ -203,9 +212,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     from repro.faults.plan import FaultPlan
 
-    runner = SimulationRunner(
-        make_dataset(args.dataset),
-        rng=np.random.default_rng(args.seed),
+    runner = DeploymentEngine(
+        shared_context(args.dataset, train_seed=args.seed)
     )
     spec = ChaosSpec(
         dataset_number=args.dataset,
@@ -343,12 +351,17 @@ def build_parser() -> argparse.ArgumentParser:
             func=_cmd_fig5
         )
 
+    from repro.engine.policy import available_policies
+
     p = sub.add_parser("run", help="one deployment run")
     p.add_argument("--dataset", type=int, default=1, choices=(1, 2, 3, 4))
     p.add_argument(
         "--mode",
         default="full",
-        choices=("all_best", "subset", "full"),
+        choices=available_policies(),
+        help="coordination policy (every registered policy is accepted; "
+        "'fixed' additionally needs an assignment and is mainly for "
+        "programmatic use)",
     )
     p.add_argument("--budget", type=float, default=2.0)
     p.add_argument("--seed", type=int, default=2017)

@@ -1,23 +1,21 @@
-"""Frame-loop simulation of an EECS deployment.
+"""Frame-loop simulation of an EECS deployment (facade).
 
-Reproduces the paper's evaluation protocol (Section VI-E): only
-ground-truth-annotated frames are processed; the controller assesses
-accuracy on the metadata of one assessment period (100 frames = 4
-annotated frames for dataset #1), selects cameras and algorithms, and
-the selection runs until the next re-calibration interval (500
-frames).  Energy is accounted per camera per frame through the fitted
-processing model plus the communication model; detected humans are
-counted after cross-camera re-identification.
+:class:`SimulationRunner` is the historical entry point for running a
+deployment; since the engine refactor it is a thin facade over
+:class:`repro.engine.core.DeploymentEngine` — one trained context, one
+phase-scheduling loop, pluggable policies and execution backends.  The
+public surface (constructor, :meth:`run`, attribute access) is
+unchanged and bit-identical; new code should prefer the engine package
+directly:
 
-Modes:
-
-* ``"all_best"`` — every camera runs its most accurate affordable
-  algorithm every frame (the paper's baseline, left bars of Fig. 5).
-* ``"subset"`` — EECS selects a camera subset but keeps best
-  algorithms (middle bars).
-* ``"full"`` — subset selection plus algorithm downgrade (right bars).
-* ``"fixed"`` — a caller-supplied camera->algorithm assignment with no
-  assessment (the Fig. 4 trade-off points).
+* ``repro.engine.DeploymentEngine`` — the unified simulation core.
+* ``repro.engine.CoordinationPolicy`` — the strategy hierarchy behind
+  the historical mode strings (``"all_best"``, ``"subset"``,
+  ``"full"``, ``"fixed"``).
+* ``repro.engine.DetectionExecutor`` — serial / process-pool
+  detection backends (the ``workers`` plumbing).
+* ``repro.engine.Environment`` — ideal frame feed vs. the
+  fault-injected network.
 
 Parallelism: every detection task draws from a generator seeded by the
 run's entropy plus its ``(frame, camera, algorithm)`` coordinates, so
@@ -29,154 +27,50 @@ guaranteed to produce identical output.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from repro.core.calibration import (
-    TrainingItem,
-    TrainingLibrary,
-    profile_algorithm,
-)
 from repro.core.config import EECSConfig
-from repro.core.controller import EECSController, SelectionDecision
+from repro.core.calibration import TrainingLibrary
 from repro.core.selection import AssessmentData
 from repro.datasets.base import FrameRecord
-from repro.datasets.groundtruth import ground_truth_boxes, persons_in_any_view
 from repro.datasets.synthetic import SyntheticDataset
-from repro.detection.base import Detection, Detector
-from repro.detection.detectors import make_detector_suite
-from repro.energy.battery import Battery
-from repro.energy.communication import CommunicationEnergyModel
+from repro.detection.base import Detector
 from repro.energy.meter import EnergyMeter
-from repro.energy.model import ProcessingEnergyModel
-from repro.perf.parallel import parallel_map
+from repro.engine.context import (
+    DeploymentContext,
+    build_training_library,
+    fit_color_metric,
+    offline_train_camera,
+)
+from repro.engine.core import (
+    DeploymentEngine,
+    RunResult,
+    _detect_task,
+    _DetectTask,
+)
+from repro.engine.executor import make_executor
 from repro.perf.timing import TimingReport
-from repro.reid.mahalanobis import MahalanobisMetric
-from repro.reid.matcher import CrossCameraMatcher
 from repro.telemetry.core import Telemetry
 from repro.telemetry.trace import TracingTimingReport
 
-
-@dataclass
-class RunResult:
-    """Outcome of one simulated deployment run."""
-
-    mode: str
-    humans_detected: int
-    humans_present: int
-    energy_joules: float
-    processing_joules: float
-    communication_joules: float
-    energy_by_camera: dict[str, float]
-    mean_fused_probability: float
-    frames_evaluated: int
-    decisions: list[SelectionDecision] = field(default_factory=list)
-    processing_seconds: float = 0.0
-
-    @property
-    def detection_rate(self) -> float:
-        """Fraction of present humans that were detected."""
-        if self.humans_present == 0:
-            return 0.0
-        return self.humans_detected / self.humans_present
-
-    def max_latency_per_frame(self) -> float:
-        """Mean per-camera processing seconds per evaluated frame.
-
-        The paper processes one frame every ``seconds_per_frame``
-        (2 s); a deployment whose per-frame latency exceeds that
-        cadence cannot keep up in real time — the stated reason LSVM
-        is excluded despite its accuracy (Section VI-A).
-        """
-        if self.frames_evaluated == 0:
-            return 0.0
-        return self.processing_seconds / self.frames_evaluated
-
-
-def offline_train_camera(
-    dataset: SyntheticDataset,
-    camera_id: str,
-    detectors: dict[str, Detector],
-    energy_model: ProcessingEnergyModel,
-    rng: np.random.Generator,
-    item_name: str | None = None,
-) -> TrainingItem:
-    """Profile every algorithm on one camera's training segment."""
-    segment = dataset.training_segment()
-    profiles = {}
-    for name, detector in detectors.items():
-        frames = []
-        for record in segment.frames:
-            observation = record.observation(camera_id)
-            detections = detector.detect(observation, rng)
-            frames.append((detections, ground_truth_boxes(observation)))
-        profiles[name] = profile_algorithm(
-            detector, frames, item_name or f"T-{camera_id}", energy_model
-        )
-    return TrainingItem(
-        name=item_name or f"T-{camera_id}", profiles=profiles
-    )
-
-
-def build_training_library(
-    dataset: SyntheticDataset,
-    detectors: dict[str, Detector],
-    rng: np.random.Generator,
-) -> TrainingLibrary:
-    """Offline training over all of a dataset's cameras."""
-    env = dataset.environment
-    energy_model = ProcessingEnergyModel(width=env.width, height=env.height)
-    library = TrainingLibrary()
-    for camera_id in dataset.camera_ids:
-        library.add(
-            offline_train_camera(
-                dataset, camera_id, detectors, energy_model, rng
-            )
-        )
-    return library
-
-
-def fit_color_metric(
-    dataset: SyntheticDataset,
-    detectors: dict[str, Detector],
-    rng: np.random.Generator,
-    num_frames: int = 8,
-) -> MahalanobisMetric:
-    """Fit the re-identification colour metric on training detections."""
-    segment = dataset.training_segment()
-    samples = []
-    any_detector = next(iter(detectors.values()))
-    for record in segment.frames[:num_frames]:
-        for camera_id in dataset.camera_ids:
-            observation = record.observation(camera_id)
-            for det in any_detector.detect(observation, rng):
-                samples.append(det.color_feature)
-    if len(samples) < 2:
-        raise RuntimeError("too few detections to fit the colour metric")
-    return MahalanobisMetric(n_components=None, shrinkage=0.2).fit(
-        np.stack(samples)
-    )
-
-
-#: One detection work unit: everything a worker process needs, with no
-#: shared state — (detector, observation, rng seed entropy, threshold).
-_DetectTask = tuple[Detector, object, tuple[int, ...], float | None]
-
-
-def _detect_task(task: _DetectTask) -> list[Detection]:
-    """Run one detector on one observation with a task-local generator.
-
-    Module-level (picklable) and pure apart from the freshly seeded
-    generator, so serial and process-pool execution agree bit for bit.
-    """
-    detector, observation, entropy, threshold = task
-    rng = np.random.default_rng(list(entropy))
-    return detector.detect(observation, rng, threshold=threshold)
+__all__ = [
+    "RunResult",
+    "SimulationRunner",
+    "build_training_library",
+    "fit_color_metric",
+    "offline_train_camera",
+]
 
 
 class SimulationRunner:
-    """Drives a dataset through the EECS control loop."""
+    """Drives a dataset through the EECS control loop.
+
+    Construction trains a :class:`~repro.engine.context.DeploymentContext`
+    (or adopts the supplied ``library``/``detectors``) and wraps a
+    :class:`~repro.engine.core.DeploymentEngine` around it; ``run``
+    resolves the historical mode string to a registered coordination
+    policy.
+    """
 
     def __init__(
         self,
@@ -190,266 +84,105 @@ class SimulationRunner:
         timing: TimingReport | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
-        self.dataset = dataset
-        self.config = config or EECSConfig()
-        self._seed = seed
-        self._latency_seconds = 0.0
+        if timing is None:
+            timing = (
+                TracingTimingReport(telemetry.tracer)
+                if telemetry is not None
+                else TimingReport()
+            )
+        rng = rng if rng is not None else np.random.default_rng(seed)
+        context = DeploymentContext.build(
+            dataset,
+            config=config,
+            detectors=detectors,
+            library=library,
+            rng=rng,
+            timing=timing,
+        )
         self.workers = workers
-        self.telemetry = telemetry
-        #: Simulated time of the round in flight (frame cadence), read
-        #: by the controller's decision events.
-        self._sim_time_s = 0.0
-        if timing is not None:
-            self.timing = timing
-        elif telemetry is not None:
-            # Phase sections double as spans in the telemetry trace.
-            self.timing = TracingTimingReport(telemetry.tracer)
-        else:
-            self.timing = TimingReport()
-        self.rng = rng if rng is not None else np.random.default_rng(seed)
-        env = dataset.environment
-        self.detectors = detectors or make_detector_suite(env)
-        self.energy_model = ProcessingEnergyModel(
-            width=env.width, height=env.height
-        )
-        if library is None:
-            with self.timing.section("offline_training"):
-                library = build_training_library(
-                    dataset, self.detectors, self.rng
-                )
-        self.library = library
-        color_metric = fit_color_metric(dataset, self.detectors, self.rng)
-        self.matcher = CrossCameraMatcher(
-            image_to_ground=dataset.ground_homographies(),
-            ground_radius=self.config.ground_radius_m,
-            color_metric=color_metric,
-            color_threshold=self.config.color_threshold,
-        )
-        self.controller = EECSController(
-            self.config, self.library, self.matcher, telemetry=telemetry
-        )
-        if telemetry is not None:
-            self.controller.now_fn = lambda: self._sim_time_s
-        for camera_id in dataset.camera_ids:
-            battery = Battery()
-            if telemetry is not None:
-                battery.instrument(
-                    telemetry, camera_id, clock=lambda: self._sim_time_s
-                )
-            self.controller.register_camera(
-                camera_id,
-                processing_model=self.energy_model,
-                communication_model=CommunicationEnergyModel(
-                    width=env.width, height=env.height
-                ),
-                battery=battery,
-            )
-            self.controller.assign_training_item(camera_id, f"T-{camera_id}")
-        self._camera_order = {
-            camera_id: index
-            for index, camera_id in enumerate(dataset.camera_ids)
-        }
-        self._algorithm_order = {
-            name: index for index, name in enumerate(sorted(self.detectors))
-        }
-        self._run_entropy: tuple[int, ...] = (seed,)
-        self._active_workers = workers
-
-    # ------------------------------------------------------------------
-    # Per-frame primitives
-    # ------------------------------------------------------------------
-    def _task_entropy(
-        self, record: FrameRecord, camera_id: str, algorithm: str
-    ) -> tuple[int, ...]:
-        """Seed entropy of one detection task.
-
-        A pure function of the run configuration and the task's
-        (frame, camera, algorithm) coordinates — never of execution
-        order — which is what makes the parallel fan-out reproduce the
-        serial run exactly.
-        """
-        return (
-            *self._run_entropy,
-            record.frame_index,
-            self._camera_order[camera_id],
-            self._algorithm_order[algorithm],
+        self._engine = DeploymentEngine(
+            context,
+            seed=seed,
+            rng=rng,
+            executor=make_executor(workers),
+            timing=timing,
+            telemetry=telemetry,
         )
 
-    def _batch_detections(
-        self,
-        requests: list[tuple[FrameRecord, str, str]],
-        meter: EnergyMeter,
-    ) -> dict[tuple[int, str, str], list[Detection]]:
-        """Detect every requested (frame, camera, algorithm) triple.
+    @classmethod
+    def from_engine(cls, engine: DeploymentEngine) -> "SimulationRunner":
+        """Wrap an existing engine without re-training anything."""
+        runner = cls.__new__(cls)
+        runner.workers = engine.executor.workers
+        runner._engine = engine
+        return runner
 
-        Detection itself fans out over the configured worker pool;
-        accounting (probability calibration, energy metering, latency)
-        runs serially afterwards in request order.
+    @property
+    def engine(self) -> DeploymentEngine:
+        """The deployment engine this facade drives."""
+        return self._engine
 
-        Returns detections keyed by
-        ``(frame_index, camera_id, algorithm)``.
-        """
-        tasks: list[_DetectTask] = []
-        for record, camera_id, algorithm in requests:
-            threshold = (
-                self.library.get(f"T-{camera_id}")
-                .profile(algorithm)
-                .threshold
-            )
-            tasks.append((
-                self.detectors[algorithm],
-                record.observation(camera_id),
-                self._task_entropy(record, camera_id, algorithm),
-                threshold,
-            ))
-        with self.timing.section("detection"):
-            results = parallel_map(
-                _detect_task, tasks, workers=self._active_workers
-            )
-        out: dict[tuple[int, str, str], list[Detection]] = {}
-        for (record, camera_id, algorithm), detections in zip(
-            requests, results
-        ):
-            self.controller.calibrate_probabilities(camera_id, detections)
-            if self.telemetry is not None:
-                # Recorded here, in the serial accounting loop, so the
-                # counters are identical for any worker count.
-                self.telemetry.observe_detections(
-                    camera_id, algorithm, detections
-                )
-            meter.record_processing(
-                camera_id, self.energy_model.energy_per_frame(algorithm)
-            )
-            self._latency_seconds += self.energy_model.time_per_frame(
-                algorithm
-            )
-            comm = self.controller.camera(camera_id).communication_model
-            meter.record_communication(
-                camera_id, comm.metadata_cost(len(detections))
-            )
-            out[(record.frame_index, camera_id, algorithm)] = detections
-        return out
+    # -- delegated state ------------------------------------------------
+    # Plain delegating properties (with setters where tests and
+    # experiments historically rebound them) so the facade and the
+    # engine can never disagree about which objects a run uses.
+    @property
+    def dataset(self) -> SyntheticDataset:
+        return self._engine.dataset
 
-    def _affordable_algorithms(
-        self, camera_id: str, budget: float | None
-    ) -> list[str]:
-        plan = self.controller.camera_plan(camera_id, budget)
-        if plan is None:
-            return []
-        comm = plan.communication_cost
-        return [
-            p.algorithm
-            for p in plan.item.profiles.values()
-            if p.energy_per_frame + comm <= plan.budget
-        ]
+    @property
+    def config(self) -> EECSConfig:
+        return self._engine.config
 
-    def _collect_assessment(
-        self,
-        records: list[FrameRecord],
-        budget: float | None,
-        meter: EnergyMeter,
-    ) -> AssessmentData:
-        """Run all affordable algorithms on the assessment frames."""
-        plan: list[tuple[FrameRecord, dict[str, list[str]]]] = []
-        requests: list[tuple[FrameRecord, str, str]] = []
-        for record in records:
-            per_camera: dict[str, list[str]] = {}
-            for camera_id in self.dataset.camera_ids:
-                algorithms = self._affordable_algorithms(camera_id, budget)
-                if not algorithms:
-                    continue
-                per_camera[camera_id] = algorithms
-                requests.extend(
-                    (record, camera_id, algorithm)
-                    for algorithm in algorithms
-                )
-            plan.append((record, per_camera))
-        detections = self._batch_detections(requests, meter)
-        assessment = AssessmentData()
-        for record, per_camera in plan:
-            assessment.frames.append({
-                camera_id: {
-                    algorithm: detections[
-                        (record.frame_index, camera_id, algorithm)
-                    ]
-                    for algorithm in algorithms
-                }
-                for camera_id, algorithms in per_camera.items()
-            })
-        return assessment
+    @property
+    def detectors(self) -> dict[str, Detector]:
+        return self._engine.detectors
 
-    def _evaluate_frame(
-        self,
-        record: FrameRecord,
-        assignment: dict[str, str],
-        meter: EnergyMeter,
-        detections_cache: dict[str, list[Detection]] | None = None,
-    ) -> tuple[int, int, list[float]]:
-        """Detect with the active assignment, fuse, count humans.
+    @detectors.setter
+    def detectors(self, value: dict[str, Detector]) -> None:
+        self._engine.detectors = value
 
-        Returns (detected, present, fused probabilities).
-        """
-        missing = [
-            (record, camera_id, algorithm)
-            for camera_id, algorithm in assignment.items()
-            if detections_cache is None or camera_id not in detections_cache
-        ]
-        computed = (
-            self._batch_detections(missing, meter) if missing else {}
-        )
-        detections: list[Detection] = []
-        for camera_id, algorithm in assignment.items():
-            if detections_cache is not None and camera_id in detections_cache:
-                detections.extend(detections_cache[camera_id])
-            else:
-                detections.extend(
-                    computed[(record.frame_index, camera_id, algorithm)]
-                )
-        with self.timing.section("reid_grouping"):
-            groups = self.matcher.group(detections)
-        detected_ids = {
-            group.majority_truth_id
-            for group in groups
-            if group.is_true_object
-        }
-        present = persons_in_any_view(record.observations)
-        probabilities = [g.fused_probability for g in groups]
-        return len(detected_ids & present), len(present), probabilities
+    @property
+    def library(self) -> TrainingLibrary:
+        return self._engine.library
 
-    def _evaluate_batch(
-        self,
-        records: list[FrameRecord],
-        assignments: list[dict[str, str]],
-        meter: EnergyMeter,
-    ) -> tuple[int, int, list[float]]:
-        """Evaluate many frames, detecting them all in one fan-out."""
-        requests = [
-            (record, camera_id, algorithm)
-            for record, assignment in zip(records, assignments)
-            for camera_id, algorithm in assignment.items()
-        ]
-        detections = self._batch_detections(requests, meter)
-        detected_total = 0
-        present_total = 0
-        probabilities: list[float] = []
-        for record, assignment in zip(records, assignments):
-            cache = {
-                camera_id: detections[
-                    (record.frame_index, camera_id, algorithm)
-                ]
-                for camera_id, algorithm in assignment.items()
-            }
-            detected, present, probs = self._evaluate_frame(
-                record, assignment, meter, detections_cache=cache
-            )
-            detected_total += detected
-            present_total += present
-            probabilities.extend(probs)
-        return detected_total, present_total, probabilities
+    @library.setter
+    def library(self, value: TrainingLibrary) -> None:
+        self._engine.library = value
 
-    # ------------------------------------------------------------------
-    # The deployment loop
-    # ------------------------------------------------------------------
+    @property
+    def matcher(self):
+        return self._engine.matcher
+
+    @matcher.setter
+    def matcher(self, value) -> None:
+        self._engine.matcher = value
+
+    @property
+    def energy_model(self):
+        return self._engine.energy_model
+
+    @property
+    def controller(self):
+        return self._engine.controller
+
+    @property
+    def timing(self) -> TimingReport:
+        return self._engine.timing
+
+    @property
+    def telemetry(self) -> Telemetry | None:
+        return self._engine.telemetry
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._engine.rng
+
+    @rng.setter
+    def rng(self, value: np.random.Generator) -> None:
+        self._engine.rng = value
+
+    # -- delegated behaviour --------------------------------------------
     def run(
         self,
         mode: str = "full",
@@ -462,8 +195,8 @@ class SimulationRunner:
         """Simulate a deployment over the dataset's test segment.
 
         Args:
-            mode: ``"all_best"``, ``"subset"``, ``"full"`` or
-                ``"fixed"``.
+            mode: A registered policy name — ``"all_best"``,
+                ``"subset"``, ``"full"`` or ``"fixed"``.
             budget: Per-frame energy budget applied to every camera
                 (``None`` derives it from the battery as in the paper).
             assignment: Required for ``"fixed"`` mode: the static
@@ -474,203 +207,27 @@ class SimulationRunner:
                 Any value yields identical results; ``> 1`` fans
                 detection work over a process pool.
         """
-        if mode not in ("all_best", "subset", "full", "fixed"):
-            raise ValueError(f"unknown mode {mode!r}")
-        if mode == "fixed" and not assignment:
-            raise ValueError("fixed mode needs an explicit assignment")
-        self._active_workers = self.workers if workers is None else workers
-
-        # Reseed per run configuration so results are independent of
-        # how many runs preceded this one on the shared runner.  The
-        # same entropy also seeds every per-task generator, keyed by
-        # its (frame, camera, algorithm) coordinates.
-        self._run_entropy = (
-            self._seed,
-            sum(mode.encode()),
-            0 if start is None else start,
-            0 if budget is None else int(budget * 1000),
-        )
-        self.rng = np.random.default_rng(list(self._run_entropy))
-
-        spec = self.dataset.spec
-        start = spec.train_end if start is None else start
-        end = spec.total_frames if end is None else end
-        records = self.dataset.frames(start, end, only_ground_truth=True)
-
-        meter = EnergyMeter(telemetry=self.telemetry)
-        self._latency_seconds = 0.0
-        detected_total = 0
-        present_total = 0
-        probabilities: list[float] = []
-        decisions: list[SelectionDecision] = []
-
-        gt_per_round = max(
-            1, self.config.recalibration_interval // spec.gt_every
-        )
-        gt_per_assessment = max(
-            1, self.config.assessment_period // spec.gt_every
-        )
-        budget_overrides = (
-            {c: budget for c in self.dataset.camera_ids}
-            if budget is not None
-            else None
+        return self._engine.run(
+            mode,
+            budget=budget,
+            assignment=assignment,
+            start=start,
+            end=end,
+            workers=self.workers if workers is None else workers,
         )
 
-        run_span = None
-        if self.telemetry is not None:
-            run_span = self.telemetry.tracer.begin(
-                "run",
-                mode=mode,
-                seed=self._seed,
-                budget=budget,
-                frames=len(records),
-            )
-        try:
-            if mode == "fixed":
-                with self.timing.section("operation"):
-                    detected_total, present_total, probabilities = (
-                        self._evaluate_batch(
-                            records, [assignment] * len(records), meter
-                        )
-                    )
-            elif mode == "all_best":
-                frame_assignments = [
-                    self._all_best_assignment(budget) for _ in records
-                ]
-                with self.timing.section("operation"):
-                    detected_total, present_total, probabilities = (
-                        self._evaluate_batch(
-                            records, frame_assignments, meter
-                        )
-                    )
-            else:
-                enable_downgrade = mode == "full"
-                for round_index, round_start in enumerate(
-                    range(0, len(records), gt_per_round)
-                ):
-                    round_records = records[
-                        round_start : round_start + gt_per_round
-                    ]
-                    assess_records = round_records[:gt_per_assessment]
-                    operate_records = round_records[gt_per_assessment:]
+    def _task_entropy(
+        self, record: FrameRecord, camera_id: str, algorithm: str
+    ) -> tuple[int, ...]:
+        return self._engine._task_entropy(record, camera_id, algorithm)
 
-                    self._sim_time_s = (
-                        round_records[0].frame_index
-                        * self.config.seconds_per_frame
-                    )
-                    round_span = None
-                    if self.telemetry is not None:
-                        round_span = self.telemetry.tracer.begin(
-                            "round",
-                            index=round_index,
-                            sim_time_s=self._sim_time_s,
-                        )
-                        self.telemetry.registry.counter(
-                            "run_rounds_total",
-                            "Assessment/selection rounds executed.",
-                        ).inc()
-                    try:
-                        with self.timing.section("assessment"):
-                            assessment = self._collect_assessment(
-                                assess_records, budget, meter
-                            )
-                        with self.timing.section("selection"):
-                            decision = self.controller.select(
-                                assessment,
-                                enable_subset=True,
-                                enable_downgrade=enable_downgrade,
-                                budget_overrides=budget_overrides,
-                            )
-                        decisions.append(decision)
-
-                        # Assessment frames are also operational: the
-                        # all-best detections are already available,
-                        # reuse them.
-                        for idx, record in enumerate(assess_records):
-                            cache = {
-                                camera_id: assessment.detections(
-                                    idx, camera_id, algorithm
-                                )
-                                for camera_id, algorithm
-                                in decision.assignment.items()
-                            }
-                            detected, present, probs = (
-                                self._evaluate_frame(
-                                    record,
-                                    decision.assignment,
-                                    meter,
-                                    detections_cache=cache,
-                                )
-                            )
-                            detected_total += detected
-                            present_total += present
-                            probabilities.extend(probs)
-
-                        with self.timing.section("operation"):
-                            detected, present, probs = (
-                                self._evaluate_batch(
-                                    operate_records,
-                                    [decision.assignment]
-                                    * len(operate_records),
-                                    meter,
-                                )
-                            )
-                        detected_total += detected
-                        present_total += present
-                        probabilities.extend(probs)
-                    finally:
-                        if round_span is not None:
-                            self.telemetry.tracer.end(round_span)
-        finally:
-            if run_span is not None:
-                self.telemetry.tracer.end(run_span)
-
-        if self.telemetry is not None:
-            registry = self.telemetry.registry
-            registry.counter(
-                "run_frames_total", "Ground-truth frames evaluated."
-            ).inc(len(records))
-            registry.counter(
-                "run_humans_detected_total",
-                "Humans detected after cross-camera fusion.",
-            ).inc(detected_total)
-            registry.counter(
-                "run_humans_present_total",
-                "Humans present in any view on evaluated frames.",
-            ).inc(present_total)
-            registry.gauge(
-                "run_mean_fused_probability",
-                "Mean fused detection probability of the latest run.",
-            ).set(float(np.mean(probabilities)) if probabilities else 0.0)
-
-        return RunResult(
-            mode=mode,
-            humans_detected=detected_total,
-            humans_present=present_total,
-            energy_joules=meter.total(),
-            processing_joules=meter.total_by_category(EnergyMeter.PROCESSING),
-            communication_joules=meter.total_by_category(
-                EnergyMeter.COMMUNICATION
-            ),
-            energy_by_camera={
-                camera_id: meter.total(camera_id)
-                for camera_id in meter.camera_ids
-            },
-            mean_fused_probability=(
-                float(np.mean(probabilities)) if probabilities else 0.0
-            ),
-            frames_evaluated=len(records),
-            decisions=decisions,
-            processing_seconds=self._latency_seconds,
-        )
+    def _collect_assessment(
+        self,
+        records: list[FrameRecord],
+        budget: float | None,
+        meter: EnergyMeter,
+    ) -> AssessmentData:
+        return self._engine.collect_assessment(records, budget, meter)
 
     def _all_best_assignment(self, budget: float | None) -> dict[str, str]:
-        """Every camera on its most accurate affordable algorithm."""
-        assignment = {}
-        for camera_id in self.dataset.camera_ids:
-            plan = self.controller.camera_plan(camera_id, budget)
-            if plan is not None:
-                assignment[camera_id] = plan.best_algorithm
-        if not assignment:
-            raise RuntimeError("no camera can afford any algorithm")
-        return assignment
+        return self._engine.all_best_assignment(budget)

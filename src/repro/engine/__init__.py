@@ -1,0 +1,90 @@
+"""The unified deployment engine.
+
+One simulation core behind every way the repo runs a deployment:
+
+* :mod:`repro.engine.core` — :class:`DeploymentEngine`, the single
+  phase-scheduling loop (assessment periods, re-calibration
+  intervals, per-frame operation) and :class:`RunResult`.
+* :mod:`repro.engine.policy` — pluggable
+  :class:`CoordinationPolicy` strategies (all-best, subset, full
+  EECS, fixed) with a by-name registry.
+* :mod:`repro.engine.executor` — :class:`DetectionExecutor`
+  backends (serial reference, process pool), bit-identical by
+  construction.
+* :mod:`repro.engine.environment` — :class:`Environment` seam:
+  ideal in-process frame feed vs. the fault-injected network.
+* :mod:`repro.engine.context` — the immutable trained substrate
+  (:class:`DeploymentContext`) and the engine-owned
+  :func:`shared_context` cache.
+* :mod:`repro.engine.spec` — :class:`DeploymentSpec`, the
+  declarative construction path shared by harness and CLI.
+* :mod:`repro.engine.clock` — :class:`SimulationClock`, explicit
+  frame-cadence simulated time.
+
+Layering contract (enforced by ``tests/test_layer_contract.py`` in
+CI): this package never imports from ``repro.experiments`` or
+``repro.cli`` — experiments and the CLI sit *above* the engine.
+"""
+
+from repro.engine.clock import SimulationClock
+from repro.engine.context import (
+    DeploymentContext,
+    clear_shared_contexts,
+    shared_context,
+)
+from repro.engine.core import DeploymentEngine, RunResult
+from repro.engine.environment import (
+    Environment,
+    FaultInjectedEnvironment,
+    IdealEnvironment,
+    NetworkConditions,
+    NetworkOutcome,
+)
+from repro.engine.executor import (
+    DetectionExecutor,
+    ProcessPoolDetectionExecutor,
+    SerialDetectionExecutor,
+    make_executor,
+)
+from repro.engine.policy import (
+    AllBestPolicy,
+    CoordinationPolicy,
+    FixedAssignmentPolicy,
+    FullEECSPolicy,
+    RoundPlan,
+    SubsetPolicy,
+    available_policies,
+    register_policy,
+    resolve_policy,
+    validate_policy_name,
+)
+from repro.engine.spec import DeploymentSpec
+
+__all__ = [
+    "AllBestPolicy",
+    "CoordinationPolicy",
+    "DeploymentContext",
+    "DeploymentEngine",
+    "DeploymentSpec",
+    "DetectionExecutor",
+    "Environment",
+    "FaultInjectedEnvironment",
+    "FixedAssignmentPolicy",
+    "FullEECSPolicy",
+    "IdealEnvironment",
+    "NetworkConditions",
+    "NetworkOutcome",
+    "ProcessPoolDetectionExecutor",
+    "RoundPlan",
+    "RunResult",
+    "SerialDetectionExecutor",
+    "SimulationClock",
+    "SubsetPolicy",
+    "available_policies",
+    "clear_shared_contexts",
+    "make_executor",
+    "register_policy",
+    "resolve_policy",
+    "shared_context",
+    "validate_policy_name",
+]

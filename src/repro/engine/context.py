@@ -1,0 +1,197 @@
+"""The trained substrate a deployment engine runs on.
+
+Offline training (profiling every algorithm on every camera's training
+segment, Section IV-A) and colour-metric fitting are the expensive,
+deterministic part of building a deployment: ~seconds per dataset,
+identical for every run that shares a training seed.  A
+:class:`DeploymentContext` bundles those artefacts — dataset, config,
+detectors, training library, re-identification matcher, energy model —
+as an immutable unit that any number of engines can share.
+
+:func:`shared_context` is the engine-owned construction cache that
+replaced the old module-level runner cache in
+``repro.experiments.harness``: contexts are safe to share because they
+hold no per-run state (controllers, batteries, meters and rng streams
+are built fresh per engine), so repeated specs can no longer leak
+state across experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.calibration import (
+    TrainingItem,
+    TrainingLibrary,
+    profile_algorithm,
+)
+from repro.core.config import EECSConfig
+from repro.datasets.groundtruth import ground_truth_boxes
+from repro.datasets.synthetic import SyntheticDataset
+from repro.detection.base import Detector
+from repro.detection.detectors import make_detector_suite
+from repro.energy.model import ProcessingEnergyModel
+from repro.perf.timing import TimingReport
+from repro.reid.mahalanobis import MahalanobisMetric
+from repro.reid.matcher import CrossCameraMatcher
+
+#: Seed base for shared contexts, matching the historical harness
+#: convention (dataset N trains from ``2017 + N``).
+DEFAULT_TRAIN_SEED_BASE = 2017
+
+
+def offline_train_camera(
+    dataset: SyntheticDataset,
+    camera_id: str,
+    detectors: dict[str, Detector],
+    energy_model: ProcessingEnergyModel,
+    rng: np.random.Generator,
+    item_name: str | None = None,
+) -> TrainingItem:
+    """Profile every algorithm on one camera's training segment."""
+    segment = dataset.training_segment()
+    profiles = {}
+    for name, detector in detectors.items():
+        frames = []
+        for record in segment.frames:
+            observation = record.observation(camera_id)
+            detections = detector.detect(observation, rng)
+            frames.append((detections, ground_truth_boxes(observation)))
+        profiles[name] = profile_algorithm(
+            detector, frames, item_name or f"T-{camera_id}", energy_model
+        )
+    return TrainingItem(
+        name=item_name or f"T-{camera_id}", profiles=profiles
+    )
+
+
+def build_training_library(
+    dataset: SyntheticDataset,
+    detectors: dict[str, Detector],
+    rng: np.random.Generator,
+) -> TrainingLibrary:
+    """Offline training over all of a dataset's cameras."""
+    env = dataset.environment
+    energy_model = ProcessingEnergyModel(width=env.width, height=env.height)
+    library = TrainingLibrary()
+    for camera_id in dataset.camera_ids:
+        library.add(
+            offline_train_camera(
+                dataset, camera_id, detectors, energy_model, rng
+            )
+        )
+    return library
+
+
+def fit_color_metric(
+    dataset: SyntheticDataset,
+    detectors: dict[str, Detector],
+    rng: np.random.Generator,
+    num_frames: int = 8,
+) -> MahalanobisMetric:
+    """Fit the re-identification colour metric on training detections."""
+    segment = dataset.training_segment()
+    samples = []
+    any_detector = next(iter(detectors.values()))
+    for record in segment.frames[:num_frames]:
+        for camera_id in dataset.camera_ids:
+            observation = record.observation(camera_id)
+            for det in any_detector.detect(observation, rng):
+                samples.append(det.color_feature)
+    if len(samples) < 2:
+        raise RuntimeError("too few detections to fit the colour metric")
+    return MahalanobisMetric(n_components=None, shrinkage=0.2).fit(
+        np.stack(samples)
+    )
+
+
+@dataclass
+class DeploymentContext:
+    """Immutable trained artefacts shared by engines on one dataset."""
+
+    dataset: SyntheticDataset
+    config: EECSConfig
+    detectors: dict[str, Detector]
+    library: TrainingLibrary
+    matcher: CrossCameraMatcher
+    energy_model: ProcessingEnergyModel
+
+    @classmethod
+    def build(
+        cls,
+        dataset: SyntheticDataset,
+        config: EECSConfig | None = None,
+        detectors: dict[str, Detector] | None = None,
+        library: TrainingLibrary | None = None,
+        rng: np.random.Generator | None = None,
+        timing: TimingReport | None = None,
+    ) -> "DeploymentContext":
+        """Train (or adopt) everything a deployment needs.
+
+        The draw order on ``rng`` — training first, colour metric
+        second — is load-bearing: it reproduces the historical runner
+        construction bit for bit.
+        """
+        config = config or EECSConfig()
+        rng = rng if rng is not None else np.random.default_rng(2017)
+        timing = timing if timing is not None else TimingReport()
+        env = dataset.environment
+        detectors = detectors or make_detector_suite(env)
+        energy_model = ProcessingEnergyModel(
+            width=env.width, height=env.height
+        )
+        if library is None:
+            with timing.section("offline_training"):
+                library = build_training_library(dataset, detectors, rng)
+        color_metric = fit_color_metric(dataset, detectors, rng)
+        matcher = CrossCameraMatcher(
+            image_to_ground=dataset.ground_homographies(),
+            ground_radius=config.ground_radius_m,
+            color_metric=color_metric,
+            color_threshold=config.color_threshold,
+        )
+        return cls(
+            dataset=dataset,
+            config=config,
+            detectors=detectors,
+            library=library,
+            matcher=matcher,
+            energy_model=energy_model,
+        )
+
+
+_CONTEXTS: dict[tuple, DeploymentContext] = {}
+
+
+def shared_context(
+    dataset_number: int,
+    config: EECSConfig | None = None,
+    train_seed: int | None = None,
+    timing: TimingReport | None = None,
+) -> DeploymentContext:
+    """The engine-owned shared context for a dataset (trained once per
+    process and per (dataset, config, seed) combination).
+
+    Contexts are immutable, so sharing is safe; everything mutable is
+    per-engine.  ``timing`` only observes a cache miss's training cost.
+    """
+    if train_seed is None:
+        train_seed = DEFAULT_TRAIN_SEED_BASE + dataset_number
+    key = (dataset_number, train_seed, config)
+    if key not in _CONTEXTS:
+        from repro.datasets.synthetic import make_dataset
+
+        _CONTEXTS[key] = DeploymentContext.build(
+            make_dataset(dataset_number),
+            config=config,
+            rng=np.random.default_rng(train_seed),
+            timing=timing,
+        )
+    return _CONTEXTS[key]
+
+
+def clear_shared_contexts() -> None:
+    """Testing hook: drop every cached context."""
+    _CONTEXTS.clear()

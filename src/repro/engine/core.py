@@ -1,0 +1,673 @@
+"""The deployment engine: one loop for every coordination strategy.
+
+Reproduces the paper's evaluation protocol (Section VI-E): only
+ground-truth-annotated frames are processed; the controller assesses
+accuracy on the metadata of one assessment period, selects cameras and
+algorithms, and the selection runs until the next re-calibration
+interval.  Energy is accounted per camera per frame through the fitted
+processing model plus the communication model; detected humans are
+counted after cross-camera re-identification.
+
+The engine owns the *phase schedule* — assessment periods,
+re-calibration intervals, per-frame operation — paced by an explicit
+:class:`~repro.engine.clock.SimulationClock`.  Everything else is
+pluggable:
+
+* **what runs where** comes from a
+  :class:`~repro.engine.policy.CoordinationPolicy` (no mode-string
+  branching: a policy plans rounds and turns assessments into
+  decisions);
+* **how detection executes** comes from a
+  :class:`~repro.engine.executor.DetectionExecutor` (serial reference
+  backend or process pool — bit-identical by construction, because
+  every task seeds its own generator from the run entropy plus its
+  (frame, camera, algorithm) coordinates);
+* **where the deployment runs** comes from an
+  :class:`~repro.engine.environment.Environment` (ideal in-process
+  frame feed, or the fault-injected discrete-event network).
+
+Telemetry and energy accounting hook the engine's phase boundaries:
+the run/round span tree, phase timing sections and per-camera energy
+metering all live here, once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.core.config import EECSConfig
+from repro.core.controller import EECSController, SelectionDecision
+from repro.core.selection import AssessmentData
+from repro.datasets.base import FrameRecord
+from repro.datasets.groundtruth import persons_in_any_view
+from repro.detection.base import Detection, Detector
+from repro.energy.battery import Battery
+from repro.energy.communication import CommunicationEnergyModel
+from repro.energy.meter import EnergyMeter
+from repro.engine.clock import SimulationClock
+from repro.engine.context import DeploymentContext
+from repro.engine.executor import DetectionExecutor, make_executor
+from repro.engine.policy import CoordinationPolicy, resolve_policy
+from repro.perf.timing import TimingReport
+from repro.telemetry.trace import TracingTimingReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.environment import Environment
+    from repro.telemetry.core import Telemetry
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated deployment run."""
+
+    mode: str
+    humans_detected: int
+    humans_present: int
+    energy_joules: float
+    processing_joules: float
+    communication_joules: float
+    energy_by_camera: dict[str, float]
+    mean_fused_probability: float
+    frames_evaluated: int
+    decisions: list[SelectionDecision] = field(default_factory=list)
+    processing_seconds: float = 0.0
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of present humans that were detected."""
+        if self.humans_present == 0:
+            return 0.0
+        return self.humans_detected / self.humans_present
+
+    def max_latency_per_frame(self) -> float:
+        """Mean per-camera processing seconds per evaluated frame.
+
+        The paper processes one frame every ``seconds_per_frame``
+        (2 s); a deployment whose per-frame latency exceeds that
+        cadence cannot keep up in real time — the stated reason LSVM
+        is excluded despite its accuracy (Section VI-A).
+        """
+        if self.frames_evaluated == 0:
+            return 0.0
+        return self.processing_seconds / self.frames_evaluated
+
+
+#: One detection work unit: everything a worker process needs, with no
+#: shared state — (detector, observation, rng seed entropy, threshold).
+_DetectTask = tuple[Detector, object, tuple[int, ...], float | None]
+
+
+def _detect_task(task: _DetectTask) -> list[Detection]:
+    """Run one detector on one observation with a task-local generator.
+
+    Module-level (picklable) and pure apart from the freshly seeded
+    generator, so every execution backend agrees bit for bit.
+    """
+    detector, observation, entropy, threshold = task
+    rng = np.random.default_rng(list(entropy))
+    return detector.detect(observation, rng, threshold=threshold)
+
+
+def count_true_detections(groups, present: set) -> int:
+    """Distinct ground-truth persons confirmed by fused groups.
+
+    Shared by the ideal frame loop and the networked environment's
+    post-hoc scoring, so "detected" means the same thing under both.
+    """
+    detected_ids = {
+        group.majority_truth_id for group in groups if group.is_true_object
+    }
+    return len(detected_ids & present)
+
+
+class DeploymentEngine:
+    """Drives one trained context through the EECS control loop."""
+
+    def __init__(
+        self,
+        context: DeploymentContext,
+        seed: int = 2017,
+        rng: np.random.Generator | None = None,
+        executor: DetectionExecutor | None = None,
+        timing: TimingReport | None = None,
+        telemetry: "Telemetry | None" = None,
+        clock: SimulationClock | None = None,
+    ) -> None:
+        self.context = context
+        # Per-engine references (assignable without touching the
+        # shared context): the substrate a run reads.
+        self.dataset = context.dataset
+        self.config = context.config
+        self.detectors = context.detectors
+        self.library = context.library
+        self.matcher = context.matcher
+        self.energy_model = context.energy_model
+
+        self._seed = seed
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.telemetry = telemetry
+        self.clock = clock or SimulationClock(
+            seconds_per_frame=self.config.seconds_per_frame
+        )
+        if timing is not None:
+            self.timing = timing
+        elif telemetry is not None:
+            # Phase sections double as spans in the telemetry trace.
+            self.timing = TracingTimingReport(telemetry.tracer)
+        else:
+            self.timing = TimingReport()
+        self.executor = executor or make_executor(1)
+        self._active_executor = self.executor
+        self._latency_seconds = 0.0
+
+        self.controller = self.build_controller(
+            telemetry=telemetry,
+            now_fn=(lambda: self.clock.now_s) if telemetry else None,
+            battery_factory=(
+                self._instrumented_battery if telemetry else None
+            ),
+        )
+        self._camera_order = {
+            camera_id: index
+            for index, camera_id in enumerate(self.dataset.camera_ids)
+        }
+        self._algorithm_order = {
+            name: index for index, name in enumerate(sorted(self.detectors))
+        }
+        self._run_entropy: tuple[int, ...] = (seed,)
+
+    def _instrumented_battery(self, camera_id: str) -> Battery:
+        battery = Battery()
+        battery.instrument(
+            self.telemetry, camera_id, clock=lambda: self.clock.now_s
+        )
+        return battery
+
+    def build_controller(
+        self,
+        telemetry: "Telemetry | None" = None,
+        now_fn: Callable[[], float] | None = None,
+        battery_factory: Callable[[str], Battery] | None = None,
+    ) -> EECSController:
+        """A fresh controller with every camera registered.
+
+        Used for the engine's own in-process controller and by the
+        networked environment, which provisions an independent
+        controller per deployment so shared engines stay pristine.
+        """
+        controller = EECSController(
+            self.config, self.library, self.matcher, telemetry=telemetry
+        )
+        if now_fn is not None:
+            controller.now_fn = now_fn
+        env = self.dataset.environment
+        for camera_id in self.dataset.camera_ids:
+            battery = (
+                battery_factory(camera_id) if battery_factory else Battery()
+            )
+            controller.register_camera(
+                camera_id,
+                processing_model=self.energy_model,
+                communication_model=CommunicationEnergyModel(
+                    width=env.width, height=env.height
+                ),
+                battery=battery,
+            )
+            controller.assign_training_item(camera_id, f"T-{camera_id}")
+        return controller
+
+    # ------------------------------------------------------------------
+    # Phase-schedule parameters
+    # ------------------------------------------------------------------
+    @property
+    def gt_frames_per_round(self) -> int:
+        """Ground-truth frames per re-calibration interval."""
+        return max(
+            1,
+            self.config.recalibration_interval // self.dataset.spec.gt_every,
+        )
+
+    @property
+    def gt_frames_per_assessment(self) -> int:
+        """Ground-truth frames per assessment period."""
+        return max(
+            1, self.config.assessment_period // self.dataset.spec.gt_every
+        )
+
+    # ------------------------------------------------------------------
+    # Per-frame primitives
+    # ------------------------------------------------------------------
+    def _task_entropy(
+        self, record: FrameRecord, camera_id: str, algorithm: str
+    ) -> tuple[int, ...]:
+        """Seed entropy of one detection task.
+
+        A pure function of the run configuration and the task's
+        (frame, camera, algorithm) coordinates — never of execution
+        order — which is what makes any executor backend reproduce the
+        serial run exactly.
+        """
+        return (
+            *self._run_entropy,
+            record.frame_index,
+            self._camera_order[camera_id],
+            self._algorithm_order[algorithm],
+        )
+
+    def _batch_detections(
+        self,
+        requests: list[tuple[FrameRecord, str, str]],
+        meter: EnergyMeter,
+    ) -> dict[tuple[int, str, str], list[Detection]]:
+        """Detect every requested (frame, camera, algorithm) triple.
+
+        Detection itself fans out over the active executor backend;
+        accounting (probability calibration, energy metering, latency)
+        runs serially afterwards in request order.
+
+        Returns detections keyed by
+        ``(frame_index, camera_id, algorithm)``.
+        """
+        tasks: list[_DetectTask] = []
+        for record, camera_id, algorithm in requests:
+            threshold = (
+                self.library.get(f"T-{camera_id}")
+                .profile(algorithm)
+                .threshold
+            )
+            tasks.append((
+                self.detectors[algorithm],
+                record.observation(camera_id),
+                self._task_entropy(record, camera_id, algorithm),
+                threshold,
+            ))
+        with self.timing.section("detection"):
+            results = self._active_executor.map(_detect_task, tasks)
+        out: dict[tuple[int, str, str], list[Detection]] = {}
+        for (record, camera_id, algorithm), detections in zip(
+            requests, results
+        ):
+            self.controller.calibrate_probabilities(camera_id, detections)
+            if self.telemetry is not None:
+                # Recorded here, in the serial accounting loop, so the
+                # counters are identical for any executor backend.
+                self.telemetry.observe_detections(
+                    camera_id, algorithm, detections
+                )
+            meter.record_processing(
+                camera_id, self.energy_model.energy_per_frame(algorithm)
+            )
+            self._latency_seconds += self.energy_model.time_per_frame(
+                algorithm
+            )
+            comm = self.controller.camera(camera_id).communication_model
+            meter.record_communication(
+                camera_id, comm.metadata_cost(len(detections))
+            )
+            out[(record.frame_index, camera_id, algorithm)] = detections
+        return out
+
+    def affordable_algorithms(
+        self, camera_id: str, budget: float | None
+    ) -> list[str]:
+        """Algorithms within a camera's per-frame budget."""
+        plan = self.controller.camera_plan(camera_id, budget)
+        if plan is None:
+            return []
+        comm = plan.communication_cost
+        return [
+            p.algorithm
+            for p in plan.item.profiles.values()
+            if p.energy_per_frame + comm <= plan.budget
+        ]
+
+    def collect_assessment(
+        self,
+        records: list[FrameRecord],
+        budget: float | None,
+        meter: EnergyMeter,
+    ) -> AssessmentData:
+        """Run all affordable algorithms on the assessment frames."""
+        plan: list[tuple[FrameRecord, dict[str, list[str]]]] = []
+        requests: list[tuple[FrameRecord, str, str]] = []
+        for record in records:
+            per_camera: dict[str, list[str]] = {}
+            for camera_id in self.dataset.camera_ids:
+                algorithms = self.affordable_algorithms(camera_id, budget)
+                if not algorithms:
+                    continue
+                per_camera[camera_id] = algorithms
+                requests.extend(
+                    (record, camera_id, algorithm)
+                    for algorithm in algorithms
+                )
+            plan.append((record, per_camera))
+        detections = self._batch_detections(requests, meter)
+        assessment = AssessmentData()
+        for record, per_camera in plan:
+            assessment.frames.append({
+                camera_id: {
+                    algorithm: detections[
+                        (record.frame_index, camera_id, algorithm)
+                    ]
+                    for algorithm in algorithms
+                }
+                for camera_id, algorithms in per_camera.items()
+            })
+        return assessment
+
+    def _evaluate_frame(
+        self,
+        record: FrameRecord,
+        assignment: dict[str, str],
+        meter: EnergyMeter,
+        detections_cache: dict[str, list[Detection]] | None = None,
+    ) -> tuple[int, int, list[float]]:
+        """Detect with the active assignment, fuse, count humans.
+
+        Returns (detected, present, fused probabilities).
+        """
+        missing = [
+            (record, camera_id, algorithm)
+            for camera_id, algorithm in assignment.items()
+            if detections_cache is None or camera_id not in detections_cache
+        ]
+        computed = (
+            self._batch_detections(missing, meter) if missing else {}
+        )
+        detections: list[Detection] = []
+        for camera_id, algorithm in assignment.items():
+            if detections_cache is not None and camera_id in detections_cache:
+                detections.extend(detections_cache[camera_id])
+            else:
+                detections.extend(
+                    computed[(record.frame_index, camera_id, algorithm)]
+                )
+        with self.timing.section("reid_grouping"):
+            groups = self.matcher.group(detections)
+        present = persons_in_any_view(record.observations)
+        probabilities = [g.fused_probability for g in groups]
+        return (
+            count_true_detections(groups, present),
+            len(present),
+            probabilities,
+        )
+
+    def _evaluate_batch(
+        self,
+        records: list[FrameRecord],
+        assignments: list[dict[str, str]],
+        meter: EnergyMeter,
+    ) -> tuple[int, int, list[float]]:
+        """Evaluate many frames, detecting them all in one fan-out."""
+        requests = [
+            (record, camera_id, algorithm)
+            for record, assignment in zip(records, assignments)
+            for camera_id, algorithm in assignment.items()
+        ]
+        detections = self._batch_detections(requests, meter)
+        detected_total = 0
+        present_total = 0
+        probabilities: list[float] = []
+        for record, assignment in zip(records, assignments):
+            cache = {
+                camera_id: detections[
+                    (record.frame_index, camera_id, algorithm)
+                ]
+                for camera_id, algorithm in assignment.items()
+            }
+            detected, present, probs = self._evaluate_frame(
+                record, assignment, meter, detections_cache=cache
+            )
+            detected_total += detected
+            present_total += present
+            probabilities.extend(probs)
+        return detected_total, present_total, probabilities
+
+    def all_best_assignment(self, budget: float | None) -> dict[str, str]:
+        """Every camera on its most accurate affordable algorithm."""
+        assignment = {}
+        for camera_id in self.dataset.camera_ids:
+            plan = self.controller.camera_plan(camera_id, budget)
+            if plan is not None:
+                assignment[camera_id] = plan.best_algorithm
+        if not assignment:
+            raise RuntimeError("no camera can afford any algorithm")
+        return assignment
+
+    # ------------------------------------------------------------------
+    # The deployment loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        policy: CoordinationPolicy | str = "full",
+        budget: float | None = None,
+        assignment: dict[str, str] | None = None,
+        start: int | None = None,
+        end: int | None = None,
+        workers: int | None = None,
+    ) -> RunResult:
+        """Simulate a deployment over the dataset's test segment.
+
+        Args:
+            policy: A registered policy name (``"all_best"``,
+                ``"subset"``, ``"full"``, ``"fixed"``) or a
+                :class:`~repro.engine.policy.CoordinationPolicy`
+                instance.
+            budget: Per-frame energy budget applied to every camera
+                (``None`` derives it from the battery as in the paper).
+            assignment: Required by assignment-taking policies
+                (``"fixed"``): the static camera -> algorithm map.
+            start: First frame (defaults to the test segment start).
+            end: One past the last frame (defaults to the dataset end).
+            workers: Override the engine's executor for this run with
+                a worker count.  Any backend yields identical results;
+                ``> 1`` fans detection work over a process pool.
+        """
+        policy = resolve_policy(policy)
+        policy.validate(assignment)
+        self._active_executor = (
+            self.executor if workers is None else make_executor(workers)
+        )
+
+        # Reseed per run configuration so results are independent of
+        # how many runs preceded this one on the shared engine.  The
+        # same entropy also seeds every per-task generator, keyed by
+        # its (frame, camera, algorithm) coordinates.
+        self._run_entropy = (
+            self._seed,
+            sum(policy.name.encode()),
+            0 if start is None else start,
+            0 if budget is None else int(budget * 1000),
+        )
+        self.rng = np.random.default_rng(list(self._run_entropy))
+
+        spec = self.dataset.spec
+        start = spec.train_end if start is None else start
+        end = spec.total_frames if end is None else end
+        records = self.dataset.frames(start, end, only_ground_truth=True)
+
+        meter = EnergyMeter(telemetry=self.telemetry)
+        self._latency_seconds = 0.0
+        detected_total = 0
+        present_total = 0
+        probabilities: list[float] = []
+        decisions: list[SelectionDecision] = []
+
+        rounds = policy.plan_rounds(self, records, budget, assignment)
+        budget_overrides = (
+            {c: budget for c in self.dataset.camera_ids}
+            if budget is not None
+            else None
+        )
+
+        run_span = None
+        if self.telemetry is not None:
+            run_span = self.telemetry.tracer.begin(
+                "run",
+                mode=policy.name,
+                seed=self._seed,
+                budget=budget,
+                frames=len(records),
+            )
+        try:
+            for round_index, round_plan in enumerate(rounds):
+                if round_plan.assess_count:
+                    detected, present, probs, decision = (
+                        self._run_assessed_round(
+                            round_plan, round_index, policy,
+                            budget, budget_overrides, meter,
+                        )
+                    )
+                    decisions.append(decision)
+                else:
+                    with self.timing.section("operation"):
+                        detected, present, probs = self._evaluate_batch(
+                            round_plan.records,
+                            round_plan.static_assignments,
+                            meter,
+                        )
+                detected_total += detected
+                present_total += present
+                probabilities.extend(probs)
+        finally:
+            if run_span is not None:
+                self.telemetry.tracer.end(run_span)
+
+        if self.telemetry is not None:
+            self._record_run_metrics(
+                len(records), detected_total, present_total, probabilities
+            )
+
+        return RunResult(
+            mode=policy.name,
+            humans_detected=detected_total,
+            humans_present=present_total,
+            energy_joules=meter.total(),
+            processing_joules=meter.total_by_category(EnergyMeter.PROCESSING),
+            communication_joules=meter.total_by_category(
+                EnergyMeter.COMMUNICATION
+            ),
+            energy_by_camera={
+                camera_id: meter.total(camera_id)
+                for camera_id in meter.camera_ids
+            },
+            mean_fused_probability=(
+                float(np.mean(probabilities)) if probabilities else 0.0
+            ),
+            frames_evaluated=len(records),
+            decisions=decisions,
+            processing_seconds=self._latency_seconds,
+        )
+
+    def _run_assessed_round(
+        self,
+        round_plan,
+        round_index: int,
+        policy: CoordinationPolicy,
+        budget: float | None,
+        budget_overrides: dict[str, float] | None,
+        meter: EnergyMeter,
+    ) -> tuple[int, int, list[float], SelectionDecision]:
+        """One assess -> select -> operate round of the protocol."""
+        assess_records = round_plan.records[: round_plan.assess_count]
+        operate_records = round_plan.records[round_plan.assess_count :]
+        self.clock.advance_to_frame(round_plan.records[0].frame_index)
+
+        round_span = None
+        if self.telemetry is not None:
+            round_span = self.telemetry.tracer.begin(
+                "round",
+                index=round_index,
+                sim_time_s=self.clock.now_s,
+            )
+            self.telemetry.registry.counter(
+                "run_rounds_total",
+                "Assessment/selection rounds executed.",
+            ).inc()
+        try:
+            with self.timing.section("assessment"):
+                assessment = self.collect_assessment(
+                    assess_records, budget, meter
+                )
+            with self.timing.section("selection"):
+                decision = policy.select(
+                    self, assessment, budget_overrides
+                )
+
+            detected_total = 0
+            present_total = 0
+            probabilities: list[float] = []
+            # Assessment frames are also operational: the all-best
+            # detections are already available, reuse them.
+            for idx, record in enumerate(assess_records):
+                cache = {
+                    camera_id: assessment.detections(
+                        idx, camera_id, algorithm
+                    )
+                    for camera_id, algorithm
+                    in decision.assignment.items()
+                }
+                detected, present, probs = self._evaluate_frame(
+                    record,
+                    decision.assignment,
+                    meter,
+                    detections_cache=cache,
+                )
+                detected_total += detected
+                present_total += present
+                probabilities.extend(probs)
+
+            with self.timing.section("operation"):
+                detected, present, probs = self._evaluate_batch(
+                    operate_records,
+                    [decision.assignment] * len(operate_records),
+                    meter,
+                )
+            detected_total += detected
+            present_total += present
+            probabilities.extend(probs)
+            return detected_total, present_total, probabilities, decision
+        finally:
+            if round_span is not None:
+                self.telemetry.tracer.end(round_span)
+
+    def _record_run_metrics(
+        self,
+        frames: int,
+        detected_total: int,
+        present_total: int,
+        probabilities: list[float],
+    ) -> None:
+        """Mirror one run's outcome into the metrics registry."""
+        registry = self.telemetry.registry
+        registry.counter(
+            "run_frames_total", "Ground-truth frames evaluated."
+        ).inc(frames)
+        registry.counter(
+            "run_humans_detected_total",
+            "Humans detected after cross-camera fusion.",
+        ).inc(detected_total)
+        registry.counter(
+            "run_humans_present_total",
+            "Humans present in any view on evaluated frames.",
+        ).inc(present_total)
+        registry.gauge(
+            "run_mean_fused_probability",
+            "Mean fused detection probability of the latest run.",
+        ).set(float(np.mean(probabilities)) if probabilities else 0.0)
+
+    # ------------------------------------------------------------------
+    # Environments
+    # ------------------------------------------------------------------
+    def deploy(self, environment: "Environment"):
+        """Execute a deployment in an execution environment.
+
+        The ideal in-process environment returns a
+        :class:`RunResult`; the fault-injected network environment
+        returns a :class:`~repro.engine.environment.NetworkOutcome`.
+        """
+        return environment.execute(self)

@@ -1,0 +1,71 @@
+"""Detection execution backends.
+
+The engine expresses every phase's detection work as an ordered list
+of self-contained tasks (see ``_detect_task`` in
+:mod:`repro.engine.core`); a :class:`DetectionExecutor` decides where
+those tasks run.  Because each task seeds its own generator from the
+run entropy plus its (frame, camera, algorithm) coordinates, every
+backend produces bit-identical results — the serial backend is the
+reference, the process-pool backend is the throughput option.
+
+Adding a backend means implementing ``map`` with order-preserving
+semantics over picklable tasks; nothing else in the engine changes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence, TypeVar
+
+from repro.perf.parallel import parallel_map
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class DetectionExecutor(ABC):
+    """Where detection tasks execute."""
+
+    #: Nominal degree of parallelism (1 for the serial backend).
+    workers: int = 1
+
+    @abstractmethod
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        """Run ``fn`` over ``tasks``, preserving input order."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialDetectionExecutor(DetectionExecutor):
+    """In-process reference backend: a plain ordered loop."""
+
+    workers = 1
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        return [fn(task) for task in tasks]
+
+
+class ProcessPoolDetectionExecutor(DetectionExecutor):
+    """Fan tasks over a process pool (results identical to serial).
+
+    Tasks and the task function must be picklable; single-task batches
+    degenerate to the in-process path to avoid pool overhead.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise ValueError(
+                f"process-pool backend needs workers >= 2, got {workers}"
+            )
+        self.workers = workers
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        return parallel_map(fn, tasks, workers=self.workers)
+
+
+def make_executor(workers: int) -> DetectionExecutor:
+    """The backend for a worker count (``<= 1`` means serial)."""
+    if workers <= 1:
+        return SerialDetectionExecutor()
+    return ProcessPoolDetectionExecutor(workers)

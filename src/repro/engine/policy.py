@@ -1,0 +1,193 @@
+"""Coordination policies: who runs what, decided how.
+
+The paper evaluates four coordination strategies (Section VI-E): the
+all-best baseline, EECS camera-subset selection, full EECS with
+algorithm downgrade, and static caller-supplied assignments.  Each is
+a :class:`CoordinationPolicy`: it partitions the deployment window
+into rounds (:class:`RoundPlan`) and, for assessing policies, turns an
+assessment period's metadata into a
+:class:`~repro.core.controller.SelectionDecision`.
+
+The engine never branches on policy names — adding a strategy is a new
+subclass plus :func:`register_policy`; the engine's phase loop and
+both execution environments pick it up unchanged.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.core.controller import SelectionDecision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.selection import AssessmentData
+    from repro.datasets.base import FrameRecord
+    from repro.engine.core import DeploymentEngine
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """One scheduling unit of a deployment.
+
+    Attributes:
+        records: The round's ground-truth frames, in order.
+        assess_count: How many leading frames feed the accuracy
+            assessment (0 for non-assessing policies: the whole round
+            is operational).
+        static_assignments: Per-record camera->algorithm maps for
+            rounds that operate without a selection decision; ``None``
+            when the assignment comes from :meth:`CoordinationPolicy.select`.
+    """
+
+    records: list["FrameRecord"]
+    assess_count: int = 0
+    static_assignments: list[dict[str, str]] | None = None
+
+
+class CoordinationPolicy(ABC):
+    """Strategy for scheduling assessment and choosing assignments."""
+
+    #: Registry key; also feeds the run entropy and ``RunResult.mode``,
+    #: so renaming a policy changes its rng stream.
+    name: ClassVar[str]
+
+    #: Whether :meth:`plan_rounds` needs a caller-supplied assignment.
+    requires_assignment: ClassVar[bool] = False
+
+    #: Whether selection may downgrade algorithms (Section IV-B.4).
+    enable_downgrade: ClassVar[bool] = False
+
+    def validate(self, assignment: dict[str, str] | None) -> None:
+        """Reject configurations the policy cannot run."""
+        if self.requires_assignment and not assignment:
+            raise ValueError(
+                f"policy {self.name!r} needs an explicit assignment"
+            )
+
+    @abstractmethod
+    def plan_rounds(
+        self,
+        engine: "DeploymentEngine",
+        records: list["FrameRecord"],
+        budget: float | None,
+        assignment: dict[str, str] | None,
+    ) -> list[RoundPlan]:
+        """Partition the deployment window into rounds."""
+
+    def select(
+        self,
+        engine: "DeploymentEngine",
+        assessment: "AssessmentData",
+        budget_overrides: dict[str, float] | None,
+    ) -> SelectionDecision:
+        """Turn assessment metadata into the round's assignment."""
+        raise NotImplementedError(
+            f"policy {self.name!r} does not assess"
+        )  # pragma: no cover - non-assessing policies plan assess_count=0
+
+
+_REGISTRY: dict[str, type[CoordinationPolicy]] = {}
+
+
+def register_policy(
+    cls: type[CoordinationPolicy],
+) -> type[CoordinationPolicy]:
+    """Class decorator: make a policy constructible by name."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_policies() -> tuple[str, ...]:
+    """Registered policy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def validate_policy_name(name: str) -> None:
+    """Raise a ``ValueError`` listing valid policies for bad names."""
+    if name not in _REGISTRY:
+        valid = ", ".join(repr(n) for n in available_policies())
+        raise ValueError(
+            f"unknown policy {name!r}; valid policies are {valid}"
+        )
+
+
+def resolve_policy(policy: "CoordinationPolicy | str") -> CoordinationPolicy:
+    """An instance from a name (or pass an instance through)."""
+    if isinstance(policy, CoordinationPolicy):
+        return policy
+    validate_policy_name(policy)
+    return _REGISTRY[policy]()
+
+
+@register_policy
+class FixedAssignmentPolicy(CoordinationPolicy):
+    """A caller-supplied static camera->algorithm map, no assessment
+    (the Fig. 4 trade-off points)."""
+
+    name = "fixed"
+    requires_assignment = True
+
+    def plan_rounds(self, engine, records, budget, assignment):
+        return [
+            RoundPlan(
+                records=records,
+                static_assignments=[assignment] * len(records),
+            )
+        ]
+
+
+@register_policy
+class AllBestPolicy(CoordinationPolicy):
+    """Every camera on its most accurate affordable algorithm every
+    frame (the paper's baseline, left bars of Fig. 5)."""
+
+    name = "all_best"
+
+    def plan_rounds(self, engine, records, budget, assignment):
+        return [
+            RoundPlan(
+                records=records,
+                static_assignments=[
+                    engine.all_best_assignment(budget) for _ in records
+                ],
+            )
+        ]
+
+
+@register_policy
+class SubsetPolicy(CoordinationPolicy):
+    """EECS camera-subset selection with best algorithms kept
+    (the middle bars of Fig. 5)."""
+
+    name = "subset"
+    enable_downgrade = False
+
+    def plan_rounds(self, engine, records, budget, assignment):
+        per_round = engine.gt_frames_per_round
+        per_assessment = engine.gt_frames_per_assessment
+        return [
+            RoundPlan(
+                records=records[start : start + per_round],
+                assess_count=per_assessment,
+            )
+            for start in range(0, len(records), per_round)
+        ]
+
+    def select(self, engine, assessment, budget_overrides):
+        return engine.controller.select(
+            assessment,
+            enable_subset=True,
+            enable_downgrade=self.enable_downgrade,
+            budget_overrides=budget_overrides,
+        )
+
+
+@register_policy
+class FullEECSPolicy(SubsetPolicy):
+    """Subset selection plus algorithm downgrade (right bars of
+    Fig. 5): the paper's full protocol."""
+
+    name = "full"
+    enable_downgrade = True

@@ -1,0 +1,104 @@
+"""Declarative deployment specs: one object describes one run.
+
+A :class:`DeploymentSpec` is the single construction path the harness
+and the CLI share: it names the dataset, the coordination policy and
+the run parameters, validates them eagerly (a typo'd policy fails at
+spec construction, not minutes into training), and knows how to build
+the engine that executes it — training through the shared
+:func:`~repro.engine.context.shared_context` cache so each dataset is
+trained once per process.
+
+Specs are frozen and picklable, so batches fan out over worker
+processes; every run reseeds from its own configuration inside the
+engine, making serial and parallel execution bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import EECSConfig
+from repro.engine.context import shared_context
+from repro.engine.core import DeploymentEngine, RunResult
+from repro.engine.executor import make_executor
+from repro.engine.policy import resolve_policy
+from repro.perf.timing import TimingReport
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """One fully described deployment run.
+
+    Attributes:
+        dataset_number: Which synthetic dataset to deploy on.
+        policy: Registered coordination policy name (validated at
+            construction).
+        budget: Per-frame energy budget for every camera.
+        start / end: Frame window (``None`` = dataset defaults).
+        assignment: Static camera->algorithm pairs for
+            assignment-taking policies, as a tuple of pairs to keep
+            the spec hashable.
+        seed: Run-entropy seed (feeds every detection task's rng).
+        train_seed: Offline-training seed; ``None`` uses the shared
+            per-dataset convention (``2017 + dataset_number``).
+        workers: Detection executor backend width (1 = serial).
+    """
+
+    dataset_number: int
+    policy: str = "full"
+    budget: float | None = None
+    start: int | None = None
+    end: int | None = None
+    assignment: tuple[tuple[str, str], ...] | None = None
+    seed: int = 2017
+    train_seed: int | None = None
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        # Fail fast: resolve_policy raises the "valid policies are ..."
+        # ValueError for unknown names; the policy then checks its own
+        # requirements (e.g. "fixed" without an assignment).
+        policy = resolve_policy(self.policy)
+        policy.validate(
+            dict(self.assignment) if self.assignment else None
+        )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    def build_engine(
+        self,
+        config: EECSConfig | None = None,
+        telemetry=None,
+        timing: TimingReport | None = None,
+    ) -> DeploymentEngine:
+        """An engine over the shared trained context for this spec."""
+        context = shared_context(
+            self.dataset_number,
+            config=config,
+            train_seed=self.train_seed,
+            timing=timing,
+        )
+        return DeploymentEngine(
+            context,
+            seed=self.seed,
+            executor=make_executor(self.workers),
+            timing=timing,
+            telemetry=telemetry,
+        )
+
+    def execute(
+        self,
+        engine: DeploymentEngine | None = None,
+        config: EECSConfig | None = None,
+        telemetry=None,
+    ) -> RunResult:
+        """Run this spec (building the engine unless one is supplied)."""
+        if engine is None:
+            engine = self.build_engine(config=config, telemetry=telemetry)
+        return engine.run(
+            self.policy,
+            budget=self.budget,
+            assignment=dict(self.assignment) if self.assignment else None,
+            start=self.start,
+            end=self.end,
+        )

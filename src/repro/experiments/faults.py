@@ -1,12 +1,16 @@
 """Chaos experiment: a networked deployment under injected faults.
 
-Where :class:`~repro.core.runner.SimulationRunner` drives the EECS
-loop as an idealised frame loop, this experiment runs it over the
-discrete-event network — reliable transport, heartbeats, liveness —
-and lets a :class:`~repro.faults.plan.FaultPlan` break things: lossy
-links force retransmissions (paid in Joules), crashed cameras go
-silent until the controller declares them dead and re-selects over the
-survivors.
+Where the ideal environment drives the EECS loop as an in-process
+frame feed, this experiment deploys the same trained engine in the
+:class:`~repro.engine.environment.FaultInjectedEnvironment` — the
+discrete-event network with reliable transport, heartbeats and
+liveness — and lets a :class:`~repro.faults.plan.FaultPlan` break
+things: lossy links force retransmissions (paid in Joules), crashed
+cameras go silent until the controller declares them dead and
+re-selects over the survivors.  :func:`run_chaos` is a thin adapter:
+it translates a :class:`ChaosSpec` into
+:class:`~repro.engine.environment.NetworkConditions`, deploys, and
+wraps the outcome.
 
 The headline metric is *accuracy retention*: the faulty run's
 operational detection rate divided by the zero-fault run's, on the
@@ -25,16 +29,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.core.controller import EECSController
 from repro.core.runner import SimulationRunner
-from repro.datasets.groundtruth import persons_in_any_view
-from repro.energy.battery import Battery
-from repro.energy.communication import CommunicationEnergyModel
+from repro.engine.core import DeploymentEngine
+from repro.engine.environment import (
+    FaultInjectedEnvironment,
+    NetworkConditions,
+)
 from repro.faults.events import FaultEvent, RecoveryEvent
-from repro.faults.injector import FaultInjector
 from repro.faults.plan import Crash, FaultPlan
-from repro.network.node import CameraSensorNode, ControllerNode
-from repro.network.simulator import EventSimulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.core import Telemetry
@@ -101,6 +103,26 @@ class ChaosSpec:
         )
         return plan.with_crashes(*crashes)
 
+    def to_conditions(
+        self, camera_ids: list[str], plan: FaultPlan | None = None
+    ) -> NetworkConditions:
+        """The engine-level network conditions this spec describes."""
+        return NetworkConditions(
+            plan=plan if plan is not None else self.build_plan(camera_ids),
+            start=self.start,
+            num_frames=self.num_frames,
+            assessment_frames=self.assessment_frames,
+            budget=self.budget,
+            seconds_per_frame=self.seconds_per_frame,
+            heartbeat_s=self.heartbeat_s,
+            miss_threshold=self.miss_threshold,
+            assessment_timeout_s=self.assessment_timeout_s,
+            horizon_s=self.horizon_s,
+            seed=self.seed,
+            loss_rate=self.loss_rate,
+            crash_count=self.crash_count,
+        )
+
 
 @dataclass
 class ChaosResult:
@@ -145,16 +167,21 @@ def accuracy_retention(faulty: ChaosResult, baseline: ChaosResult) -> float:
 
 def run_chaos(
     spec: ChaosSpec,
-    runner: SimulationRunner,
+    runner: "SimulationRunner | DeploymentEngine",
     plan: FaultPlan | None = None,
     telemetry: "Telemetry | None" = None,
 ) -> ChaosResult:
     """Deploy ``runner``'s trained fleet over the event network under
     ``spec``'s faults and measure what the controller actually saw.
 
-    The shared runner is only read (library, matcher, detectors); the
-    run builds its own controller and batteries, so cached runners stay
-    pristine for other experiments.
+    A thin adapter over the engine's environment seam: the spec
+    becomes :class:`~repro.engine.environment.NetworkConditions`, the
+    engine deploys in a
+    :class:`~repro.engine.environment.FaultInjectedEnvironment`, and
+    the outcome is wrapped with its spec.  The shared runner/engine is
+    only read (library, matcher, detectors); the environment builds
+    its own controller and batteries, so cached engines stay pristine
+    for other experiments.
 
     With a :class:`~repro.telemetry.core.Telemetry` attached, the run
     emits the full observability surface — network/energy/controller
@@ -162,155 +189,12 @@ def run_chaos(
     structured events mirroring the fault log — without perturbing any
     rng stream: the faulty trajectory is bit-identical either way.
     """
-    dataset = runner.dataset
-    env = dataset.environment
-    end = spec.start + spec.num_frames * dataset.spec.gt_every
-    records = dataset.frames(spec.start, end, only_ground_truth=True)
-    records = records[: spec.num_frames]
-
-    sim = EventSimulator(telemetry=telemetry)
-    controller = EECSController(
-        runner.config, runner.library, runner.matcher, telemetry=telemetry
+    engine = runner.engine if isinstance(runner, SimulationRunner) else runner
+    conditions = spec.to_conditions(engine.dataset.camera_ids, plan=plan)
+    outcome = engine.deploy(
+        FaultInjectedEnvironment(conditions, telemetry=telemetry)
     )
-    controller.now_fn = lambda: sim.now
-    for camera_id in dataset.camera_ids:
-        controller.register_camera(
-            camera_id,
-            processing_model=runner.energy_model,
-            communication_model=CommunicationEnergyModel(
-                width=env.width, height=env.height
-            ),
-            battery=Battery(),
-        )
-        controller.assign_training_item(camera_id, f"T-{camera_id}")
-
-    injector = FaultInjector(
-        plan if plan is not None else spec.build_plan(dataset.camera_ids)
-    )
-    if telemetry is not None:
-        telemetry.attach_fault_log(injector.log)
-    controller_node = ControllerNode(
-        "controller",
-        controller,
-        assessment_frames=spec.assessment_frames,
-        budget=spec.budget,
-        reliable=True,
-        fault_log=injector.log,
-        telemetry=telemetry,
-    )
-    sim.register_node(controller_node)
-
-    cameras: dict[str, CameraSensorNode] = {}
-    for camera_id in dataset.camera_ids:
-        item = runner.library.get(f"T-{camera_id}")
-        node = CameraSensorNode(
-            node_id=camera_id,
-            controller_id="controller",
-            observations=[r.observation(camera_id) for r in records],
-            detectors=runner.detectors,
-            thresholds={n: p.threshold for n, p in item.profiles.items()},
-            energy_model=runner.energy_model,
-            reliable=True,
-            telemetry=telemetry,
-        )
-        cameras[camera_id] = node
-        sim.register_node(node)
-        sim.connect(camera_id, "controller")
-    injector.attach(sim)
-
-    run_span = (
-        telemetry.tracer.begin(
-            "run",
-            mode="chaos",
-            seed=spec.seed,
-            loss_rate=spec.loss_rate,
-            crash_count=spec.crash_count,
-            frames=spec.num_frames,
-        )
-        if telemetry is not None
-        else None
-    )
-    try:
-        horizon = spec.horizon_s
-        for node in cameras.values():
-            node.start()
-            node.start_heartbeats(spec.heartbeat_s, until=horizon)
-            node.start_operation(spec.seconds_per_frame, until=horizon)
-        controller_node.enable_liveness(
-            spec.heartbeat_s,
-            miss_threshold=spec.miss_threshold,
-            until=horizon,
-        )
-
-        camera_algorithms = {}
-        for camera_id in dataset.camera_ids:
-            cam_plan = controller.camera_plan(camera_id, spec.budget)
-            if cam_plan is None:
-                continue
-            camera_algorithms[camera_id] = sorted(
-                p.algorithm
-                for p in cam_plan.item.profiles.values()
-                if p.energy_per_frame + cam_plan.communication_cost
-                <= cam_plan.budget
-            )
-        controller_node.start_assessment(
-            camera_algorithms, timeout_s=spec.assessment_timeout_s
-        )
-
-        sim.run(until=horizon + spec.seconds_per_frame)
-    finally:
-        if telemetry is not None:
-            controller_node.close_telemetry()
-            telemetry.tracer.end(run_span, simulated_s=sim.now)
-
-    # Accuracy over the operational window, measured on what the
-    # controller actually received: metadata from crashed cameras or
-    # lost beyond the retry cap never arrives, and that is the point.
-    by_frame: dict[int, list] = {}
-    for metadata in controller_node.operational_metadata:
-        by_frame.setdefault(metadata.frame_index, []).extend(
-            metadata.detections
-        )
-    detected_total = 0
-    present_total = 0
-    for idx, record in enumerate(records):
-        if idx < spec.assessment_frames:
-            continue
-        present = persons_in_any_view(record.observations)
-        present_total += len(present)
-        groups = runner.matcher.group(by_frame.get(record.frame_index, []))
-        detected_ids = {
-            g.majority_truth_id for g in groups if g.is_true_object
-        }
-        detected_total += len(detected_ids & present)
-
-    transports = [controller_node.transport] + [
-        c.transport for c in cameras.values()
-    ]
-    return ChaosResult(
-        spec=spec,
-        humans_detected=detected_total,
-        humans_present=present_total,
-        delivered_messages=sim.delivered_messages,
-        dropped_messages=sim.dropped_messages,
-        retransmissions=sum(t.retransmissions for t in transports),
-        gave_up=sum(t.gave_up for t in transports),
-        duplicates_dropped=sum(t.duplicates_dropped for t in transports),
-        suppressed_sends=sum(c.suppressed_sends for c in cameras.values()),
-        battery_by_camera={
-            camera_id: node.battery.consumed
-            for camera_id, node in cameras.items()
-        },
-        num_decisions=len(controller_node.decisions),
-        final_assignment=(
-            dict(controller_node.decisions[-1].assignment)
-            if controller_node.decisions
-            else {}
-        ),
-        fault_events=list(injector.log.faults),
-        recovery_events=list(injector.log.recoveries),
-        simulated_s=sim.now,
-    )
+    return ChaosResult(spec=spec, **vars(outcome))
 
 
 def chaos_sweep(

@@ -1,9 +1,14 @@
 """Shared experiment infrastructure.
 
-Building a :class:`SimulationRunner` involves offline training over a
-dataset's whole training segment (~5 s); experiments and benchmarks
-share runners through this cache so each dataset is trained once per
-process.
+Building a deployment involves offline training over a dataset's whole
+training segment (~5 s); experiments and benchmarks share that work
+through the engine-owned
+:func:`~repro.engine.context.shared_context` cache, which holds only
+the *immutable* trained artefacts (dataset, library, matcher, energy
+model).  :func:`get_runner` hands out a fresh facade over a fresh
+engine each call — per-run mutable state (controller, batteries, rng
+streams) is never shared, so experiments can no longer leak state into
+each other through a cached runner.
 
 Independent experiment configurations (:class:`RunSpec`) can fan out
 over a process pool via :func:`run_specs`.  Every run reseeds from its
@@ -13,43 +18,47 @@ results; ``workers=1`` falls back to a plain in-process loop.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-
-import numpy as np
 
 from repro.core.config import EECSConfig
 from repro.core.runner import RunResult, SimulationRunner
-from repro.datasets.synthetic import make_dataset
+from repro.engine.core import DeploymentEngine
+from repro.engine.context import shared_context
+from repro.engine.policy import resolve_policy
+from repro.engine.spec import DeploymentSpec
 from repro.perf.parallel import parallel_map
-
-_RUNNERS: dict[int, SimulationRunner] = {}
 
 
 def get_runner(
     dataset_number: int, config: EECSConfig | None = None
 ) -> SimulationRunner:
-    """The shared runner for a dataset (built on first use).
+    """A runner over the shared trained context for a dataset.
 
-    A custom ``config`` bypasses the cache (the cached runner keeps
-    the defaults).
+    Training is cached per ``(dataset, config, seed)`` by the engine's
+    :func:`~repro.engine.context.shared_context`; the returned facade
+    and its engine are fresh per call, so callers get the cached
+    (expensive, immutable) artefacts with none of the per-run mutable
+    state of previous experiments.
     """
-    if config is not None:
-        return SimulationRunner(
-            make_dataset(dataset_number),
-            config=config,
-            rng=np.random.default_rng(2017 + dataset_number),
-        )
-    if dataset_number not in _RUNNERS:
-        _RUNNERS[dataset_number] = SimulationRunner(
-            make_dataset(dataset_number),
-            rng=np.random.default_rng(2017 + dataset_number),
-        )
-    return _RUNNERS[dataset_number]
+    context = shared_context(dataset_number, config=config)
+    return SimulationRunner.from_engine(DeploymentEngine(context))
 
 
 def reset_runners() -> None:
-    """Testing hook: drop all cached runners."""
-    _RUNNERS.clear()
+    """Deprecated no-op: runners are no longer cached.
+
+    The engine's immutable context cache replaced the runner cache;
+    use :func:`repro.engine.context.clear_shared_contexts` to force
+    re-training.
+    """
+    warnings.warn(
+        "reset_runners() is deprecated and does nothing: runners are no "
+        "longer cached (see repro.engine.context.shared_context / "
+        "clear_shared_contexts)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
 
 
 @dataclass(frozen=True)
@@ -59,7 +68,9 @@ class RunSpec:
     Frozen and fully picklable so a batch of specs can be shipped to
     worker processes.  ``assignment`` (for ``"fixed"`` mode) is a
     tuple of (camera_id, algorithm) pairs rather than a dict to keep
-    the spec hashable.
+    the spec hashable.  The mode is validated at construction: an
+    unknown policy name raises ``ValueError`` immediately, listing the
+    registered policies.
     """
 
     dataset_number: int
@@ -69,17 +80,27 @@ class RunSpec:
     end: int | None = None
     assignment: tuple[tuple[str, str], ...] | None = None
 
+    def __post_init__(self) -> None:
+        policy = resolve_policy(self.mode)
+        policy.validate(
+            dict(self.assignment) if self.assignment else None
+        )
+
+    def to_deployment_spec(self) -> DeploymentSpec:
+        """The engine-level spec this configuration describes."""
+        return DeploymentSpec(
+            dataset_number=self.dataset_number,
+            policy=self.mode,
+            budget=self.budget,
+            start=self.start,
+            end=self.end,
+            assignment=self.assignment,
+        )
+
 
 def _execute_spec(spec: RunSpec) -> RunResult:
-    """Run one spec on the (per-process) shared runner."""
-    runner = get_runner(spec.dataset_number)
-    return runner.run(
-        mode=spec.mode,
-        budget=spec.budget,
-        assignment=dict(spec.assignment) if spec.assignment else None,
-        start=spec.start,
-        end=spec.end,
-    )
+    """Run one spec on the (per-process) shared context."""
+    return spec.to_deployment_spec().execute()
 
 
 def run_specs(
@@ -87,9 +108,9 @@ def run_specs(
 ) -> list[RunResult]:
     """Execute independent run configurations, optionally in parallel.
 
-    Each spec's run reseeds from its own configuration inside
-    :meth:`SimulationRunner.run`, so the results are identical
-    whatever ``workers`` is; order follows the input specs.  Worker
-    processes build (or inherit, under fork) their own runner cache.
+    Each spec's run reseeds from its own configuration inside the
+    engine, so the results are identical whatever ``workers`` is;
+    order follows the input specs.  Worker processes build (or
+    inherit, under fork) their own shared-context cache.
     """
     return parallel_map(_execute_spec, specs, workers=workers, chunksize=1)

@@ -1,0 +1,97 @@
+"""Golden regression: the engine refactor is bit-identical.
+
+The fixtures under ``tests/goldens/`` were captured from the
+pre-refactor ``SimulationRunner``/``run_chaos`` implementations (see
+``golden_utils.capture``).  These tests re-run the same configurations
+through the unified deployment engine and compare every ``RunResult``
+/ ``ChaosResult`` field — floats by exact equality, since JSON
+round-trips Python doubles exactly — at ``workers=1`` and
+``workers>1``.
+
+If one of these fails, the engine's behaviour has drifted from the
+historical implementation; that is a bug in the change, not in the
+fixture.  Regenerate goldens (``python tests/golden_utils.py``) only
+for a change that *intends* to alter simulation output.
+"""
+
+import json
+
+import pytest
+
+from tests.golden_utils import (
+    GOLDEN_CHAOS_CONFIGS,
+    chaos_result_fingerprint,
+    collect_chaos_goldens,
+    golden_run_configs,
+    load_golden,
+    make_golden_runner,
+    run_result_fingerprint,
+)
+
+
+def normalize(fingerprint):
+    """Match the storage representation (tuples become JSON arrays)."""
+    return json.loads(json.dumps(fingerprint))
+
+
+@pytest.fixture(scope="module")
+def golden_runner():
+    return make_golden_runner()
+
+
+@pytest.fixture(scope="module")
+def run_goldens():
+    return load_golden("run_results")
+
+
+@pytest.fixture(scope="module")
+def chaos_goldens():
+    return load_golden("chaos_results")
+
+
+class TestRunGoldens:
+    @pytest.mark.parametrize(
+        "name", ["all_best", "subset", "full", "fixed"]
+    )
+    def test_serial_matches_golden(self, golden_runner, run_goldens, name):
+        configs = golden_run_configs(golden_runner.dataset.camera_ids)
+        result = golden_runner.run(**configs[name])
+        fingerprint = normalize(run_result_fingerprint(result))
+        assert fingerprint == run_goldens[name], (
+            f"policy {name!r} drifted from the pre-refactor golden"
+        )
+
+    @pytest.mark.parametrize("name", ["all_best", "full"])
+    def test_parallel_matches_golden(
+        self, golden_runner, run_goldens, name
+    ):
+        """workers>1 must reproduce the serial (golden) run exactly."""
+        configs = golden_run_configs(golden_runner.dataset.camera_ids)
+        result = golden_runner.run(workers=2, **configs[name])
+        assert normalize(run_result_fingerprint(result)) == run_goldens[name]
+
+    def test_every_field_compared(self, golden_runner, run_goldens):
+        """The fingerprint covers the whole public RunResult surface."""
+        configs = golden_run_configs(golden_runner.dataset.camera_ids)
+        result = golden_runner.run(**configs["full"])
+        missing = set(vars(result)) - set(run_result_fingerprint(result))
+        assert not missing, f"fields not pinned by the golden: {missing}"
+
+
+class TestChaosGoldens:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CHAOS_CONFIGS))
+    def test_matches_golden(self, golden_runner, chaos_goldens, name):
+        fingerprints = collect_chaos_goldens(golden_runner)
+        assert normalize(fingerprints[name]) == chaos_goldens[name], (
+            f"chaos config {name!r} drifted from the pre-refactor golden"
+        )
+
+    def test_every_field_compared(self, golden_runner):
+        from repro.experiments.faults import ChaosSpec, run_chaos
+
+        result = run_chaos(
+            ChaosSpec(**GOLDEN_CHAOS_CONFIGS["zero_fault"]), golden_runner
+        )
+        fingerprint = chaos_result_fingerprint(result)
+        missing = set(vars(result)) - set(fingerprint) - {"spec"}
+        assert not missing, f"fields not pinned by the golden: {missing}"

@@ -3,35 +3,46 @@
 import pytest
 
 from repro.core.config import EECSConfig
-from repro.experiments.harness import get_runner, reset_runners
+from repro.experiments.harness import RunSpec, get_runner, reset_runners
 
 
 class TestHarness:
-    def test_runner_cached(self, runner1):
-        from repro.experiments import harness
+    def test_context_shared_engines_fresh(self):
+        """Training artefacts are cached; per-run mutable state is not."""
+        a = get_runner(1)
+        b = get_runner(1)
+        # Fresh facade and engine per call: no leaked controller or
+        # battery state between experiments...
+        assert a is not b
+        assert a.controller is not b.controller
+        # ...over the same immutable trained context.
+        assert a.engine.context is b.engine.context
+        assert a.library is b.library
+        assert a.matcher is b.matcher
 
-        harness._RUNNERS[1] = runner1
-        assert get_runner(1) is runner1
-        assert get_runner(1) is get_runner(1)
-
-    def test_custom_config_bypasses_cache(self, runner1):
-        from repro.experiments import harness
-
-        harness._RUNNERS[1] = runner1
+    def test_custom_config_gets_own_context(self):
         custom = get_runner(1, config=EECSConfig(gamma_n=0.7))
-        assert custom is not runner1
+        default = get_runner(1)
         assert custom.config.gamma_n == 0.7
-        # The cache still holds the default runner.
-        assert get_runner(1) is runner1
+        assert custom.engine.context is not default.engine.context
+        # Repeated custom-config calls share a context too (the old
+        # runner cache rebuilt — retrained — on every such call).
+        again = get_runner(1, config=EECSConfig(gamma_n=0.7))
+        assert again.engine.context is custom.engine.context
 
-    def test_reset(self, runner1):
-        from repro.experiments import harness
+    def test_reset_runners_is_deprecated_noop(self):
+        before = get_runner(1).engine.context
+        with pytest.warns(DeprecationWarning):
+            reset_runners()
+        assert get_runner(1).engine.context is before
 
-        harness._RUNNERS[1] = runner1
-        reset_runners()
-        assert harness._RUNNERS == {}
-        # Restore for other tests in the session.
-        harness._RUNNERS[1] = runner1
+    def test_run_spec_validates_policy_name(self):
+        with pytest.raises(ValueError, match="valid policies are"):
+            RunSpec(dataset_number=1, mode="bestest")
+
+    def test_run_spec_validates_fixed_assignment(self):
+        with pytest.raises(ValueError, match="assignment"):
+            RunSpec(dataset_number=1, mode="fixed")
 
 
 class TestCameraFailureHandling:

@@ -1,0 +1,122 @@
+"""Layer contract: the engine never imports upward.
+
+``repro.engine`` is the simulation core; ``repro.experiments`` and
+``repro.cli`` are orchestration layers *above* it.  An import in the
+other direction couples the core to experiment plumbing and recreates
+the circular-dependency swamp the engine refactor removed, so CI
+enforces the contract here (the environment has no import-linter
+package; this AST-based check is the equivalent, wired into the same
+``tests`` job).
+
+The checker walks every module in the constrained packages and
+resolves ``import x`` / ``from x import y`` / relative imports to
+absolute module paths — string matching on source would miss aliased
+and relative forms.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).parent.parent / "src"
+
+#: package -> packages it must never import (even under TYPE_CHECKING:
+#: a type-only upward dependency is still an upward dependency).
+CONTRACTS = {
+    "repro.engine": ("repro.experiments", "repro.cli"),
+    # The layers below the engine must not reach up into it either.
+    "repro.datasets": ("repro.engine", "repro.experiments", "repro.cli"),
+    "repro.detection": ("repro.engine", "repro.experiments", "repro.cli"),
+    "repro.energy": ("repro.engine", "repro.experiments", "repro.cli"),
+    "repro.network": ("repro.engine", "repro.experiments", "repro.cli"),
+    "repro.faults": ("repro.engine", "repro.experiments", "repro.cli"),
+    "repro.telemetry": ("repro.engine", "repro.experiments", "repro.cli"),
+    "repro.perf": ("repro.engine", "repro.experiments", "repro.cli"),
+}
+
+
+def module_name(path: Path) -> str:
+    relative = path.relative_to(SRC).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def imported_modules(path: Path) -> set[str]:
+    """Absolute module names imported by a source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    package_parts = module_name(path).split(".")
+    if path.name != "__init__.py":
+        package_parts = package_parts[:-1]
+    imports: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            imports.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative: resolve against the package
+                base = package_parts[: len(package_parts) - node.level + 1]
+                prefix = ".".join(base + ([node.module] if node.module else []))
+            else:
+                prefix = node.module or ""
+            if prefix:
+                imports.add(prefix)
+            imports.update(
+                f"{prefix}.{alias.name}" if prefix else alias.name
+                for alias in node.names
+            )
+    return imports
+
+
+def violations(package: str, forbidden: tuple[str, ...]) -> list[str]:
+    found = []
+    package_dir = SRC / Path(*package.split("."))
+    for path in sorted(package_dir.rglob("*.py")):
+        for imported in sorted(imported_modules(path)):
+            for banned in forbidden:
+                if imported == banned or imported.startswith(banned + "."):
+                    found.append(
+                        f"{module_name(path)} imports {imported} "
+                        f"(forbidden: {banned})"
+                    )
+    return found
+
+
+@pytest.mark.parametrize("package", sorted(CONTRACTS))
+def test_no_upward_imports(package):
+    forbidden = CONTRACTS[package]
+    assert not violations(package, forbidden), (
+        f"{package} must not import from {forbidden}:\n"
+        + "\n".join(violations(package, forbidden))
+    )
+
+
+class TestCheckerCatchesViolations:
+    """The contract only means something if the checker can fail."""
+
+    def test_plain_import_detected(self, tmp_path):
+        bad = SRC / "repro" / "engine" / "_contract_canary.py"
+        bad.write_text("import repro.experiments.harness\n")
+        try:
+            assert violations("repro.engine", ("repro.experiments",))
+        finally:
+            bad.unlink()
+
+    def test_from_import_detected(self, tmp_path):
+        bad = SRC / "repro" / "engine" / "_contract_canary.py"
+        bad.write_text("from repro.experiments import harness\n")
+        try:
+            assert violations("repro.engine", ("repro.experiments",))
+        finally:
+            bad.unlink()
+
+    def test_relative_import_resolved(self):
+        """Relative imports resolve to absolute names before matching."""
+        bad = SRC / "repro" / "experiments" / "_contract_canary.py"
+        bad.write_text("from . import harness\n")
+        try:
+            resolved = imported_modules(bad)
+            assert "repro.experiments.harness" in resolved
+        finally:
+            bad.unlink()
