@@ -1,0 +1,183 @@
+"""Lossless JSON encoding of in-flight run state.
+
+Everything a resumed deployment must restore bit-for-bit goes through
+here: numpy bit-generator states, selection decisions (with their
+accuracy triples), controller camera state and accumulated
+:class:`~repro.engine.core.RunResult` partials.  All payloads are
+plain JSON values; floats survive exactly because JSON round-trips
+Python doubles, and the generator states are arbitrary-precision
+integers, which JSON also preserves.
+
+The module deliberately knows nothing about the engine or the event
+simulator — it encodes *values* (generators, decisions, controllers),
+so it sits below :mod:`repro.engine` in the layer contract and both
+execution environments can share it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.accuracy import DesiredAccuracy, GlobalAccuracy
+from repro.core.controller import EECSController, SelectionDecision
+
+
+# ----------------------------------------------------------------------
+# RNG bit-generator state
+# ----------------------------------------------------------------------
+def rng_state_to_dict(generator: np.random.Generator) -> dict:
+    """A generator's full bit-generator state as JSON-able values.
+
+    Numpy's state dicts mix Python ints with numpy scalars and (for
+    some bit generators) arrays; everything is coerced to built-ins so
+    the payload survives a JSON round-trip unchanged.
+    """
+
+    def convert(value: object) -> object:
+        if isinstance(value, dict):
+            return {key: convert(item) for key, item in value.items()}
+        if isinstance(value, np.ndarray):
+            return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+        if isinstance(value, np.integer):
+            return int(value)
+        if isinstance(value, np.floating):
+            return float(value)
+        return value
+
+    return convert(dict(generator.bit_generator.state))
+
+
+def restore_rng_state(generator: np.random.Generator, state: dict) -> None:
+    """Restore a state captured by :func:`rng_state_to_dict`."""
+
+    def revive(value: object) -> object:
+        if isinstance(value, dict):
+            if "__ndarray__" in value:
+                return np.asarray(
+                    value["__ndarray__"], dtype=value["dtype"]
+                )
+            return {key: revive(item) for key, item in value.items()}
+        return value
+
+    generator.bit_generator.state = revive(state)
+
+
+# ----------------------------------------------------------------------
+# Selection decisions
+# ----------------------------------------------------------------------
+def decision_to_dict(decision: SelectionDecision) -> dict:
+    return {
+        "assignment": dict(decision.assignment),
+        "baseline": [
+            decision.baseline.num_objects,
+            decision.baseline.mean_probability,
+        ],
+        "desired": [
+            decision.desired.min_objects,
+            decision.desired.min_probability,
+        ],
+        "achieved": [
+            decision.achieved.num_objects,
+            decision.achieved.mean_probability,
+        ],
+        "ranked_camera_ids": list(decision.ranked_camera_ids),
+    }
+
+
+def decision_from_dict(data: dict) -> SelectionDecision:
+    return SelectionDecision(
+        assignment=dict(data["assignment"]),
+        baseline=GlobalAccuracy(*data["baseline"]),
+        desired=DesiredAccuracy(*data["desired"]),
+        achieved=GlobalAccuracy(*data["achieved"]),
+        ranked_camera_ids=list(data["ranked_camera_ids"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Controller camera state (batteries, liveness, matching)
+# ----------------------------------------------------------------------
+def controller_state_to_dict(controller: EECSController) -> dict:
+    """Per-camera mutable controller state: battery consumed totals,
+    liveness beliefs and training-item bindings."""
+    return {
+        camera_id: {
+            "consumed_joules": controller.camera(camera_id).battery.consumed,
+            "alive": controller.camera(camera_id).alive,
+            "matched_item": controller.camera(camera_id).matched_item,
+        }
+        for camera_id in controller.camera_ids
+    }
+
+
+def restore_controller_state(
+    controller: EECSController, state: dict
+) -> None:
+    for camera_id, fields in state.items():
+        camera = controller.camera(camera_id)
+        camera.alive = bool(fields["alive"])
+        camera.matched_item = fields["matched_item"]
+        camera.battery.restore_consumed(float(fields["consumed_joules"]))
+
+
+# ----------------------------------------------------------------------
+# Run results
+# ----------------------------------------------------------------------
+def run_result_to_dict(result) -> dict:
+    """A :class:`~repro.engine.core.RunResult` as exact JSON values.
+
+    Used by the CLI's ``--result-out`` dump; two bit-identical runs
+    produce byte-identical documents, which is what the
+    checkpoint-smoke CI job diffs.
+    """
+    return {
+        "mode": result.mode,
+        "humans_detected": result.humans_detected,
+        "humans_present": result.humans_present,
+        "energy_joules": result.energy_joules,
+        "processing_joules": result.processing_joules,
+        "communication_joules": result.communication_joules,
+        "energy_by_camera": dict(sorted(result.energy_by_camera.items())),
+        "mean_fused_probability": result.mean_fused_probability,
+        "frames_evaluated": result.frames_evaluated,
+        "processing_seconds": result.processing_seconds,
+        "decisions": [decision_to_dict(d) for d in result.decisions],
+    }
+
+
+# ----------------------------------------------------------------------
+# Fault-log positions (chaos replay verification)
+# ----------------------------------------------------------------------
+def fault_event_to_dict(event) -> dict:
+    return {
+        "time_s": event.time_s,
+        "kind": event.kind,
+        "subject": event.subject,
+        "detail": event.detail,
+    }
+
+
+def verify_event_prefix(
+    recorded: list[dict], replayed: list, label: str
+) -> None:
+    """Assert that a replayed fault/recovery log starts with exactly
+    the events a checkpoint recorded.
+
+    The discrete-event environment resumes by seeded replay; this is
+    the consistency check that the replay really is the same
+    trajectory the checkpoint came from.  Raises ``ValueError`` on the
+    first divergence.
+    """
+    if len(replayed) < len(recorded):
+        raise ValueError(
+            f"replayed {label} log has {len(replayed)} events but the "
+            f"checkpoint recorded {len(recorded)}: the resumed run is "
+            f"not the checkpointed trajectory"
+        )
+    for index, expected in enumerate(recorded):
+        actual = fault_event_to_dict(replayed[index])
+        if actual != expected:
+            raise ValueError(
+                f"replayed {label} event #{index} diverges from the "
+                f"checkpoint: expected {expected!r}, got {actual!r}"
+            )

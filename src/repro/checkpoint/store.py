@@ -1,0 +1,116 @@
+"""Versioned, atomically written checkpoint documents.
+
+A checkpoint directory holds one ``checkpoint.json``: the latest
+consistent snapshot of a run in flight.  Every save goes through
+:func:`~repro.ioutils.atomic_write_json`, so a controller crash at any
+instant — including mid-checkpoint — leaves either the previous
+complete checkpoint or the new one on disk, never a torn file.
+
+The document format (``repro.checkpoint.v1``, documented next to the
+telemetry schemas in :mod:`repro.telemetry.schema`)::
+
+    {"schema": "repro.checkpoint.v1",
+     "kind": "run" | "chaos",
+     "fingerprint": {...},   # the configuration that produced it
+     "state": {...}}         # kind-specific resume payload
+
+The ``fingerprint`` pins the run configuration (policy, seed, window,
+budget, dataset, fault plan ...): :meth:`CheckpointStore.load` refuses
+a checkpoint whose fingerprint does not match the resuming run's,
+because restoring state into a different configuration would silently
+produce garbage instead of a bit-identical continuation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.ioutils import atomic_write_json
+
+#: Schema tag written into (and required from) every checkpoint file.
+CHECKPOINT_SCHEMA = "repro.checkpoint.v1"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint document is unreadable, mistyped or mismatched."""
+
+
+def _normalize(value: object) -> object:
+    """Canonicalise through JSON so in-memory fingerprints (tuples,
+    ints vs floats) compare equal to their on-disk form."""
+    return json.loads(json.dumps(value, sort_keys=True))
+
+
+class CheckpointStore:
+    """One run's checkpoint directory."""
+
+    FILENAME = "checkpoint.json"
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    @property
+    def path(self) -> Path:
+        return self.directory / self.FILENAME
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def save(self, kind: str, fingerprint: dict, state: dict) -> Path:
+        """Atomically persist one snapshot (replacing any previous)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        return atomic_write_json(
+            self.path,
+            {
+                "schema": CHECKPOINT_SCHEMA,
+                "kind": kind,
+                "fingerprint": _normalize(fingerprint),
+                "state": state,
+            },
+        )
+
+    def load(self, kind: str, fingerprint: dict) -> dict | None:
+        """The stored resume state, or ``None`` when no checkpoint
+        exists (a crash before the first save resumes from scratch).
+
+        Raises:
+            CheckpointError: The file is not a ``repro.checkpoint.v1``
+                document of the requested kind, or it was written by a
+                different run configuration.
+        """
+        if not self.exists():
+            return None
+        try:
+            document = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint at {self.path}: {exc}"
+            ) from exc
+        schema = document.get("schema")
+        if schema != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"{self.path}: schema {schema!r} is not "
+                f"{CHECKPOINT_SCHEMA!r}"
+            )
+        if document.get("kind") != kind:
+            raise CheckpointError(
+                f"{self.path}: checkpoint kind {document.get('kind')!r} "
+                f"does not match this deployment ({kind!r})"
+            )
+        stored = document.get("fingerprint")
+        expected = _normalize(fingerprint)
+        if stored != expected:
+            drift = sorted(
+                key
+                for key in set(stored or {}) | set(expected)
+                if (stored or {}).get(key) != expected.get(key)
+            )
+            raise CheckpointError(
+                f"{self.path}: checkpoint was written by a different run "
+                f"configuration (fields that differ: {', '.join(drift)})"
+            )
+        state = document.get("state")
+        if not isinstance(state, dict):
+            raise CheckpointError(f"{self.path}: missing state payload")
+        return state

@@ -8,6 +8,8 @@ Usage::
     python -m repro run --dataset 1 --mode full --budget 2.0
     python -m repro run --dataset 1 --workers 4 --perf-report
     python -m repro run --metrics-out m.json --trace-out t.jsonl
+    python -m repro run --checkpoint-dir ckpt --result-out result.json
+    python -m repro run --checkpoint-dir ckpt --resume
     python -m repro chaos --loss-rate 0.2 --crash 1 --seed 7
     python -m repro telemetry-report --metrics m.json --trace t.jsonl
     python -m repro train --dataset 1 --save library.json
@@ -72,6 +74,51 @@ def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:
         default=None,
         choices=("debug", "info", "warning", "error"),
         help="configure the logging module's root level",
+    )
+
+
+def _add_checkpoint_flags(p: argparse.ArgumentParser, unit: str) -> None:
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="crash-safe checkpoint directory (repro.checkpoint.v1); "
+        "snapshots are written atomically, and SIGTERM checkpoints at "
+        f"the next {unit} boundary before exiting with status 3",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help=f"checkpoint cadence in completed {unit}s",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint-dir's snapshot; the completed "
+        "run is bit-identical to an uninterrupted one",
+    )
+    p.add_argument(
+        "--crash-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help=f"test hook: checkpoint then crash after {unit} N "
+        "(used by the kill-and-resume CI smoke)",
+    )
+
+
+def _make_checkpoint_config(args: argparse.Namespace):
+    if not args.checkpoint_dir:
+        if args.resume:
+            raise SystemExit("--resume requires --checkpoint-dir")
+        return None
+    from repro.checkpoint import CheckpointConfig
+
+    return CheckpointConfig(
+        directory=args.checkpoint_dir,
+        every=args.checkpoint_every,
+        resume=args.resume,
+        crash_after=args.crash_after,
     )
 
 
@@ -160,6 +207,11 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.checkpoint import (
+        CheckpointError,
+        CheckpointInterrupted,
+        RunCheckpointer,
+    )
     from repro.engine.spec import DeploymentSpec
     from repro.perf.timing import TimingReport
 
@@ -170,16 +222,59 @@ def _cmd_run(args: argparse.Namespace) -> int:
         timing = TracingTimingReport(telemetry.tracer)
     else:
         timing = TimingReport()
+    config = None
+    if (
+        args.assessment_period is not None
+        or args.recalibration_interval is not None
+    ):
+        from repro.core.config import EECSConfig
+
+        defaults = EECSConfig()
+        config = EECSConfig(
+            assessment_period=(
+                args.assessment_period
+                if args.assessment_period is not None
+                else defaults.assessment_period
+            ),
+            recalibration_interval=(
+                args.recalibration_interval
+                if args.recalibration_interval is not None
+                else defaults.recalibration_interval
+            ),
+        )
     spec = DeploymentSpec(
         dataset_number=args.dataset,
         policy=args.mode,
         budget=args.budget,
+        start=args.start,
+        end=args.end,
         seed=args.seed,
         train_seed=args.seed,
         workers=args.workers,
     )
-    engine = spec.build_engine(telemetry=telemetry, timing=timing)
-    result = spec.execute(engine=engine)
+    checkpoint_config = _make_checkpoint_config(args)
+    checkpointer = (
+        RunCheckpointer(checkpoint_config) if checkpoint_config else None
+    )
+    engine = spec.build_engine(
+        config=config, telemetry=telemetry, timing=timing
+    )
+    try:
+        result = spec.execute(engine=engine, checkpointer=checkpointer)
+    except CheckpointInterrupted as stop:
+        print(f"interrupted: {stop}")
+        if telemetry is not None:
+            _write_telemetry(telemetry, args)
+        return 3
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.result_out:
+        from repro.checkpoint.codec import run_result_to_dict
+        from repro.ioutils import atomic_write_json
+
+        atomic_write_json(args.result_out, run_result_to_dict(result))
+        print(f"wrote run result to {args.result_out}")
     print(f"mode:            {result.mode}")
     print(f"humans detected: {result.humans_detected}/{result.humans_present}")
     print(f"energy:          {result.energy_joules:.1f} J "
@@ -203,6 +298,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.checkpoint import CheckpointError, CheckpointInterrupted
     from repro.engine.context import shared_context
     from repro.engine.core import DeploymentEngine
     from repro.experiments.faults import (
@@ -225,6 +321,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     plan = FaultPlan.load(args.fault_plan) if args.fault_plan else None
     telemetry = _make_telemetry(args)
+    checkpoint_config = _make_checkpoint_config(args)
 
     baseline = run_chaos(
         ChaosSpec(
@@ -236,8 +333,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         runner,
     )
     # Only the faulty run is instrumented: its metrics are the ones
-    # that show loss, retries and re-selection at work.
-    result = run_chaos(spec, runner, plan=plan, telemetry=telemetry)
+    # that show loss, retries and re-selection at work.  It is also
+    # the only run checkpointed — the zero-fault baseline is cheap to
+    # recompute on resume.
+    try:
+        result = run_chaos(
+            spec,
+            runner,
+            plan=plan,
+            telemetry=telemetry,
+            checkpoint=checkpoint_config,
+        )
+    except CheckpointInterrupted as stop:
+        print(f"interrupted: {stop}")
+        if telemetry is not None:
+            _write_telemetry(telemetry, args)
+        return 3
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     print(f"zero-fault:      {baseline.humans_detected}/"
           f"{baseline.humans_present} detected "
@@ -366,6 +480,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=float, default=2.0)
     p.add_argument("--seed", type=int, default=2017)
     p.add_argument(
+        "--start",
+        type=int,
+        default=None,
+        help="first frame (default: the dataset's test segment start)",
+    )
+    p.add_argument(
+        "--end",
+        type=int,
+        default=None,
+        help="one past the last frame (default: the dataset end)",
+    )
+    p.add_argument(
+        "--assessment-period",
+        type=int,
+        default=None,
+        help="override the config's assessment period (frames)",
+    )
+    p.add_argument(
+        "--recalibration-interval",
+        type=int,
+        default=None,
+        help="override the config's re-calibration interval (frames); "
+        "smaller intervals mean more rounds, hence more checkpoints",
+    )
+    p.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -377,6 +516,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-section timings and cache counters after the run",
     )
+    p.add_argument(
+        "--result-out",
+        default=None,
+        help="dump the RunResult as exact JSON (two bit-identical runs "
+        "produce byte-identical files)",
+    )
+    _add_checkpoint_flags(p, unit="round")
     _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_run)
 
@@ -405,6 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--frames", type=int, default=18)
     p.add_argument("--budget", type=float, default=2.0)
+    _add_checkpoint_flags(p, unit="frame tick")
     _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_chaos)
 

@@ -155,6 +155,25 @@ class Battery:
         """Drain whatever is left (premature-exhaustion injection)."""
         return self.draw(self.residual)
 
+    def restore_consumed(self, joules: float) -> None:
+        """Adopt a checkpointed consumed total without re-drawing.
+
+        Resume support: the energy was drawn (and its telemetry
+        emitted) by the original process, so restoring must not run
+        the draw path again — it would double-count threshold events.
+        Only the gauge is refreshed to the restored level.
+        """
+        if joules < 0:
+            raise ValueError("consumed energy cannot be negative")
+        if joules > self.capacity_joules:
+            raise ValueError(
+                f"consumed {joules} J exceeds capacity "
+                f"{self.capacity_joules} J"
+            )
+        self._consumed = joules
+        if self._gauge is not None:
+            self._gauge.set(self.fraction_remaining, node=self._node_id)
+
     def budget_for(
         self, operation_time_s: float, seconds_per_frame: float
     ) -> float:

@@ -96,5 +96,18 @@ class EnergyMeter:
             for camera_id, ledger in self._ledgers.items()
         }
 
+    def restore(self, snapshot: dict[str, dict[str, float]]) -> None:
+        """Adopt a :meth:`snapshot` payload (checkpoint resume).
+
+        Bypasses the telemetry counter on purpose: the restored Joules
+        were already counted when first recorded, and the resumed
+        run's registry is rebuilt from its own metrics snapshot.
+        """
+        self._ledgers.clear()
+        for camera_id, categories in snapshot.items():
+            ledger = self.ledger(camera_id)
+            for category, joules in categories.items():
+                ledger.by_category[category] += float(joules)
+
     def reset(self) -> None:
         self._ledgers.clear()

@@ -42,3 +42,15 @@ class SimulationClock:
 
     def reset(self) -> None:
         self.now_s = 0.0
+
+    def snapshot(self) -> dict:
+        """Checkpointable state (cadence included for validation)."""
+        return {
+            "seconds_per_frame": self.seconds_per_frame,
+            "now_s": self.now_s,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot` payload (checkpoint resume)."""
+        self.seconds_per_frame = float(state["seconds_per_frame"])
+        self.now_s = float(state["now_s"])

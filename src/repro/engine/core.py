@@ -38,6 +38,14 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro.checkpoint.codec import (
+    controller_state_to_dict,
+    decision_from_dict,
+    decision_to_dict,
+    restore_controller_state,
+    restore_rng_state,
+    rng_state_to_dict,
+)
 from repro.core.config import EECSConfig
 from repro.core.controller import EECSController, SelectionDecision
 from repro.core.selection import AssessmentData
@@ -55,6 +63,7 @@ from repro.perf.timing import TimingReport
 from repro.telemetry.trace import TracingTimingReport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.checkpoint.hooks import RunCheckpointer
     from repro.engine.environment import Environment
     from repro.telemetry.core import Telemetry
 
@@ -449,6 +458,7 @@ class DeploymentEngine:
         start: int | None = None,
         end: int | None = None,
         workers: int | None = None,
+        checkpointer: "RunCheckpointer | None" = None,
     ) -> RunResult:
         """Simulate a deployment over the dataset's test segment.
 
@@ -466,6 +476,14 @@ class DeploymentEngine:
             workers: Override the engine's executor for this run with
                 a worker count.  Any backend yields identical results;
                 ``> 1`` fans detection work over a process pool.
+            checkpointer: Crash-safe checkpoint/resume driver.  The
+                run snapshots its full state every ``K`` completed
+                rounds (and on SIGTERM); a resumed run restores the
+                snapshot and skips the completed rounds, finishing
+                bit-identically to an uninterrupted run.  ``workers``
+                is deliberately absent from the checkpoint
+                fingerprint: any backend reproduces the serial run, so
+                a deployment may resume with a different worker count.
         """
         policy = resolve_policy(policy)
         policy.validate(assignment)
@@ -504,6 +522,31 @@ class DeploymentEngine:
             else None
         )
 
+        first_round = 0
+        if checkpointer is not None:
+            resume_state = checkpointer.begin(
+                "run",
+                {
+                    "dataset": spec.name,
+                    "policy": policy.name,
+                    "seed": self._seed,
+                    "budget": budget,
+                    "start": start,
+                    "end": end,
+                    "assignment": assignment,
+                    "num_rounds": len(rounds),
+                    "cameras": list(self.dataset.camera_ids),
+                },
+            )
+            if resume_state is not None:
+                (
+                    first_round,
+                    detected_total,
+                    present_total,
+                    probabilities,
+                    decisions,
+                ) = self._restore_checkpoint(resume_state, meter)
+
         run_span = None
         if self.telemetry is not None:
             run_span = self.telemetry.tracer.begin(
@@ -515,6 +558,8 @@ class DeploymentEngine:
             )
         try:
             for round_index, round_plan in enumerate(rounds):
+                if round_index < first_round:
+                    continue
                 if round_plan.assess_count:
                     detected, present, probs, decision = (
                         self._run_assessed_round(
@@ -533,9 +578,24 @@ class DeploymentEngine:
                 detected_total += detected
                 present_total += present
                 probabilities.extend(probs)
+                if checkpointer is not None:
+                    checkpointer.unit_complete(
+                        round_index,
+                        len(rounds),
+                        lambda: self._capture_checkpoint(
+                            round_index + 1,
+                            detected_total,
+                            present_total,
+                            probabilities,
+                            decisions,
+                            meter,
+                        ),
+                    )
         finally:
             if run_span is not None:
                 self.telemetry.tracer.end(run_span)
+            if checkpointer is not None:
+                checkpointer.finish()
 
         if self.telemetry is not None:
             self._record_run_metrics(
@@ -634,6 +694,60 @@ class DeploymentEngine:
         finally:
             if round_span is not None:
                 self.telemetry.tracer.end(round_span)
+
+    # ------------------------------------------------------------------
+    # Checkpoint capture / restore
+    # ------------------------------------------------------------------
+    def _capture_checkpoint(
+        self,
+        next_round: int,
+        detected_total: int,
+        present_total: int,
+        probabilities: list[float],
+        decisions: list[SelectionDecision],
+        meter: EnergyMeter,
+    ) -> dict:
+        """Everything :meth:`run` mutates, as exact JSON values."""
+        state = {
+            "next_round": next_round,
+            "clock": self.clock.snapshot(),
+            "rng": rng_state_to_dict(self.rng),
+            "meter": meter.snapshot(),
+            "latency_seconds": self._latency_seconds,
+            "detected_total": detected_total,
+            "present_total": present_total,
+            "probabilities": list(probabilities),
+            "decisions": [decision_to_dict(d) for d in decisions],
+            "controller": controller_state_to_dict(self.controller),
+        }
+        if self.telemetry is not None:
+            state["metrics"] = self.telemetry.registry.snapshot()
+        return state
+
+    def _restore_checkpoint(
+        self, state: dict, meter: EnergyMeter
+    ) -> tuple[int, int, int, list[float], list[SelectionDecision]]:
+        """Adopt a :meth:`_capture_checkpoint` payload.
+
+        Returns the loop-local accumulators ``(first_round,
+        detected_total, present_total, probabilities, decisions)``;
+        engine-owned state (clock, rng, controller, meter, telemetry
+        counters) is restored in place.
+        """
+        self.clock.restore(state["clock"])
+        restore_rng_state(self.rng, state["rng"])
+        meter.restore(state["meter"])
+        self._latency_seconds = float(state["latency_seconds"])
+        restore_controller_state(self.controller, state["controller"])
+        if self.telemetry is not None and state.get("metrics"):
+            self.telemetry.registry.merge(state["metrics"])
+        return (
+            int(state["next_round"]),
+            int(state["detected_total"]),
+            int(state["present_total"]),
+            [float(p) for p in state["probabilities"]],
+            [decision_from_dict(d) for d in state["decisions"]],
+        )
 
     def _record_run_metrics(
         self,

@@ -25,6 +25,13 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.checkpoint.codec import (
+    fault_event_to_dict,
+    rng_state_to_dict,
+    verify_event_prefix,
+)
+from repro.checkpoint.hooks import CheckpointConfig, RunCheckpointer
+from repro.checkpoint.store import CheckpointError
 from repro.datasets.groundtruth import persons_in_any_view
 from repro.engine.core import DeploymentEngine, RunResult, count_true_detections
 from repro.faults.events import FaultEvent, RecoveryEvent
@@ -133,6 +140,45 @@ class NetworkOutcome:
     simulated_s: float = 0.0
 
 
+def _verify_chaos_replay(recorded: dict, sim, injector) -> None:
+    """Prove a replayed chaos run retraced the checkpointed trajectory.
+
+    Seeded replay is only a valid resume if it reproduces what the
+    crashed process already observed: the recorded fault and recovery
+    events must be an exact prefix of the replayed logs, and the
+    replay must have advanced at least as far as the checkpoint.
+    """
+    try:
+        verify_event_prefix(
+            recorded.get("fault_events", []), injector.log.faults, "fault"
+        )
+        verify_event_prefix(
+            recorded.get("recovery_events", []),
+            injector.log.recoveries,
+            "recovery",
+        )
+    except ValueError as exc:
+        raise CheckpointError(str(exc)) from exc
+    if recorded["sim_now"] > sim.now + 1e-9:
+        raise CheckpointError(
+            f"replayed run ended at t={sim.now} s but the checkpoint "
+            f"was taken at t={recorded['sim_now']} s: the resumed run "
+            f"did not reach the checkpointed progress"
+        )
+    marker = recorded.get("injector", {})
+    replayed = injector.position()
+    diverged = {
+        key: (value, replayed[key])
+        for key, value in marker.items()
+        if replayed.get(key, 0) < value
+    }
+    if diverged:
+        raise CheckpointError(
+            "replayed fault-injector position fell short of the "
+            f"checkpoint: {diverged} (recorded, replayed)"
+        )
+
+
 @dataclass
 class FaultInjectedEnvironment(Environment):
     """The discrete-event network with injected faults.
@@ -149,10 +195,24 @@ class FaultInjectedEnvironment(Environment):
     metrics, a run → round → phase → camera-op span tree, and
     structured events mirroring the fault log — without perturbing any
     rng stream: the faulty trajectory is bit-identical either way.
+
+    With a :class:`~repro.checkpoint.hooks.CheckpointConfig` attached,
+    the run snapshots a *progress marker* (simulated time, message and
+    fault-log counters, injector rng state, battery totals) every ``K``
+    frame ticks.  The event queue itself — closures over live node
+    state — is not serialisable, so a resumed chaos run continues by
+    **deterministic replay**: every stream is seeded, so re-executing
+    from ``t = 0`` retraces the checkpointed trajectory exactly, and
+    the environment verifies that by checking the recorded fault and
+    recovery logs are a prefix of the replayed ones (a mismatch raises
+    :class:`~repro.checkpoint.store.CheckpointError`).  Checkpoint
+    ticks never draw from any rng and never mutate simulator state, so
+    a checkpointed run is bit-identical to an unobserved one.
     """
 
     conditions: NetworkConditions
     telemetry: "Telemetry | None" = None
+    checkpoint: CheckpointConfig | None = None
 
     def execute(self, engine: DeploymentEngine) -> NetworkOutcome:
         conditions = self.conditions
@@ -203,6 +263,62 @@ class FaultInjectedEnvironment(Environment):
             sim.connect(camera_id, "controller")
         injector.attach(sim)
 
+        checkpointer = (
+            RunCheckpointer(self.checkpoint)
+            if self.checkpoint is not None
+            else None
+        )
+        resume_state = None
+        if checkpointer is not None:
+            resume_state = checkpointer.begin(
+                "chaos",
+                {
+                    "dataset": dataset.spec.name,
+                    "plan": conditions.plan.to_dict(),
+                    "start": conditions.start,
+                    "num_frames": conditions.num_frames,
+                    "assessment_frames": conditions.assessment_frames,
+                    "budget": conditions.budget,
+                    "seconds_per_frame": conditions.seconds_per_frame,
+                    "heartbeat_s": conditions.heartbeat_s,
+                    "miss_threshold": conditions.miss_threshold,
+                    "assessment_timeout_s": conditions.assessment_timeout_s,
+                    "horizon_s": conditions.horizon_s,
+                    "seed": conditions.seed,
+                },
+            )
+
+        def _progress() -> dict:
+            # Replay markers, not resumable state: what a seeded
+            # re-execution must reproduce to prove it is the same
+            # trajectory.  The metrics snapshot rides along for
+            # operators; replay regenerates telemetry from scratch, so
+            # it is never merged back.
+            state = {
+                "sim_now": sim.now,
+                "delivered_messages": sim.delivered_messages,
+                "dropped_messages": sim.dropped_messages,
+                "injector": injector.position(),
+                "injector_rng": rng_state_to_dict(injector.rng),
+                "fault_events": [
+                    fault_event_to_dict(e) for e in injector.log.faults
+                ],
+                "recovery_events": [
+                    fault_event_to_dict(e) for e in injector.log.recoveries
+                ],
+                "battery_by_camera": {
+                    camera_id: node.battery.consumed
+                    for camera_id, node in cameras.items()
+                },
+                "num_decisions": len(controller_node.decisions),
+                "operational_metadata": len(
+                    controller_node.operational_metadata
+                ),
+            }
+            if telemetry is not None:
+                state["metrics"] = telemetry.registry.snapshot()
+            return state
+
         run_span = (
             telemetry.tracer.begin(
                 "run",
@@ -246,11 +362,27 @@ class FaultInjectedEnvironment(Environment):
                 camera_algorithms, timeout_s=conditions.assessment_timeout_s
             )
 
+            if checkpointer is not None:
+                spf = conditions.seconds_per_frame
+                total_ticks = max(1, int(horizon / spf))
+                for tick in range(total_ticks):
+                    sim.schedule(
+                        (tick + 1) * spf - sim.now,
+                        lambda t=tick: checkpointer.unit_complete(
+                            t, total_ticks, _progress
+                        ),
+                    )
+
             sim.run(until=horizon + conditions.seconds_per_frame)
         finally:
+            if checkpointer is not None:
+                checkpointer.finish()
             if telemetry is not None:
                 controller_node.close_telemetry()
                 telemetry.tracer.end(run_span, simulated_s=sim.now)
+
+        if resume_state is not None:
+            _verify_chaos_replay(resume_state, sim, injector)
 
         # Accuracy over the operational window, measured on what the
         # controller actually received: metadata from crashed cameras

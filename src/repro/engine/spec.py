@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.checkpoint.hooks import CheckpointConfig, RunCheckpointer
 from repro.core.config import EECSConfig
 from repro.engine.context import shared_context
 from repro.engine.core import DeploymentEngine, RunResult
@@ -42,6 +43,11 @@ class DeploymentSpec:
         train_seed: Offline-training seed; ``None`` uses the shared
             per-dataset convention (``2017 + dataset_number``).
         workers: Detection executor backend width (1 = serial).
+        checkpoint_dir: Directory for crash-safe run checkpoints
+            (``None`` disables checkpointing).
+        checkpoint_every: Snapshot cadence in completed rounds.
+        resume: Restore from ``checkpoint_dir``'s snapshot instead of
+            starting fresh (no snapshot on disk = fresh start).
     """
 
     dataset_number: int
@@ -53,6 +59,9 @@ class DeploymentSpec:
     seed: int = 2017
     train_seed: int | None = None
     workers: int = 1
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
+    resume: bool = False
 
     def __post_init__(self) -> None:
         # Fail fast: resolve_policy raises the "valid policies are ..."
@@ -64,6 +73,24 @@ class DeploymentSpec:
         )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume requires checkpoint_dir")
+
+    def make_checkpointer(self) -> RunCheckpointer | None:
+        """The checkpoint driver this spec asks for (``None`` = off)."""
+        if self.checkpoint_dir is None:
+            return None
+        return RunCheckpointer(
+            CheckpointConfig(
+                directory=self.checkpoint_dir,
+                every=self.checkpoint_every,
+                resume=self.resume,
+            )
+        )
 
     def build_engine(
         self,
@@ -91,14 +118,23 @@ class DeploymentSpec:
         engine: DeploymentEngine | None = None,
         config: EECSConfig | None = None,
         telemetry=None,
+        checkpointer: RunCheckpointer | None = None,
     ) -> RunResult:
-        """Run this spec (building the engine unless one is supplied)."""
+        """Run this spec (building the engine unless one is supplied).
+
+        ``checkpointer`` overrides the spec's own checkpoint fields —
+        the hook tests and the CLI use it to attach a ``crash_after``
+        crash-injection config.
+        """
         if engine is None:
             engine = self.build_engine(config=config, telemetry=telemetry)
+        if checkpointer is None:
+            checkpointer = self.make_checkpointer()
         return engine.run(
             self.policy,
             budget=self.budget,
             assignment=dict(self.assignment) if self.assignment else None,
             start=self.start,
             end=self.end,
+            checkpointer=checkpointer,
         )

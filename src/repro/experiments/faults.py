@@ -39,6 +39,7 @@ from repro.faults.events import FaultEvent, RecoveryEvent
 from repro.faults.plan import Crash, FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.checkpoint.hooks import CheckpointConfig
     from repro.telemetry.core import Telemetry
 
 
@@ -170,6 +171,7 @@ def run_chaos(
     runner: "SimulationRunner | DeploymentEngine",
     plan: FaultPlan | None = None,
     telemetry: "Telemetry | None" = None,
+    checkpoint: "CheckpointConfig | None" = None,
 ) -> ChaosResult:
     """Deploy ``runner``'s trained fleet over the event network under
     ``spec``'s faults and measure what the controller actually saw.
@@ -188,11 +190,18 @@ def run_chaos(
     metrics, a run → round → phase → camera-op span tree, and
     structured events mirroring the fault log — without perturbing any
     rng stream: the faulty trajectory is bit-identical either way.
+
+    With a :class:`~repro.checkpoint.hooks.CheckpointConfig` attached,
+    the deployment checkpoints progress markers every ``K`` frame
+    ticks and resumes by verified deterministic replay (see
+    :class:`~repro.engine.environment.FaultInjectedEnvironment`).
     """
     engine = runner.engine if isinstance(runner, SimulationRunner) else runner
     conditions = spec.to_conditions(engine.dataset.camera_ids, plan=plan)
     outcome = engine.deploy(
-        FaultInjectedEnvironment(conditions, telemetry=telemetry)
+        FaultInjectedEnvironment(
+            conditions, telemetry=telemetry, checkpoint=checkpoint
+        )
     )
     return ChaosResult(spec=spec, **vars(outcome))
 

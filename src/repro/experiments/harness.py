@@ -71,6 +71,11 @@ class RunSpec:
     the spec hashable.  The mode is validated at construction: an
     unknown policy name raises ``ValueError`` immediately, listing the
     registered policies.
+
+    ``checkpoint_dir``/``checkpoint_every``/``resume`` pass straight
+    through to the deployment spec: a batch run that names a distinct
+    directory per spec survives pre-emption mid-batch — completed
+    specs have checkpoints their re-runs restore bit-identically.
     """
 
     dataset_number: int
@@ -79,6 +84,9 @@ class RunSpec:
     start: int | None = None
     end: int | None = None
     assignment: tuple[tuple[str, str], ...] | None = None
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
+    resume: bool = False
 
     def __post_init__(self) -> None:
         policy = resolve_policy(self.mode)
@@ -95,6 +103,9 @@ class RunSpec:
             start=self.start,
             end=self.end,
             assignment=self.assignment,
+            checkpoint_dir=self.checkpoint_dir,
+            checkpoint_every=self.checkpoint_every,
+            resume=self.resume,
         )
 
 

@@ -169,3 +169,13 @@ class FaultInjector:
         if self._sim is None:
             raise RuntimeError("injector is not attached to a simulator")
         return self._sim
+
+    def position(self) -> dict[str, int]:
+        """How far through the plan's stochastic stream and event log
+        this injector has advanced — the progress marker a checkpoint
+        records and a seeded replay must reproduce exactly."""
+        return {
+            "messages_lost": self.messages_lost,
+            "faults_logged": len(self.log.faults),
+            "recoveries_logged": len(self.log.recoveries),
+        }

@@ -20,6 +20,8 @@ import math
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from repro.ioutils import atomic_write_json
+
 #: Matches any node id in a LinkFault endpoint.
 WILDCARD = "*"
 
@@ -183,7 +185,7 @@ class FaultPlan:
         )
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+        atomic_write_json(Path(path), self.to_dict(), indent=2)
 
     @classmethod
     def load(cls, path: str | Path) -> "FaultPlan":

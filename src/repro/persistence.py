@@ -20,6 +20,17 @@ from repro.core.calibration import (
     TrainingLibrary,
 )
 from repro.detection.scores import ScoreCalibrator
+from repro.ioutils import atomic_write_json, atomic_write_text
+
+__all__ = [
+    "FORMAT_VERSION",
+    "atomic_write_json",
+    "atomic_write_text",
+    "library_from_dict",
+    "library_to_dict",
+    "load_library",
+    "save_library",
+]
 
 FORMAT_VERSION = 1
 
@@ -46,9 +57,14 @@ def _profile_from_dict(data: dict) -> AlgorithmProfile:
     calibrator = ScoreCalibrator()
     cal = data.get("calibrator", {})
     if cal.get("fitted"):
-        calibrator.weight = float(cal["weight"])
-        calibrator.bias = float(cal["bias"])
-        calibrator._fitted = True
+        try:
+            calibrator.restore(cal["weight"], cal["bias"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"malformed calibrator document for algorithm "
+                f"{data.get('algorithm')!r}: marked fitted but "
+                f"weight/bias are missing or non-numeric: {cal!r}"
+            ) from exc
     return AlgorithmProfile(
         algorithm=data["algorithm"],
         training_item=data["training_item"],
@@ -67,14 +83,17 @@ def library_to_dict(library: TrainingLibrary) -> dict:
     items = {}
     for name in library.names:
         item = library.get(name)
+        features = np.asarray(item.features, dtype=float)
         items[name] = {
             "profiles": {
                 algorithm: _profile_to_dict(profile)
                 for algorithm, profile in item.profiles.items()
             },
-            "features": item.features.tolist()
-            if item.features.size
-            else [],
+            # The nested-list form loses empty dimensions — a (0, D)
+            # stack serialises to [] — so the shape is stored
+            # explicitly and restored on load.
+            "features": features.tolist(),
+            "features_shape": list(features.shape),
         }
     return {"version": FORMAT_VERSION, "items": items}
 
@@ -94,7 +113,12 @@ def library_from_dict(data: dict) -> TrainingLibrary:
             for algorithm, profile_data in item_data["profiles"].items()
         }
         features = np.asarray(item_data.get("features", []), dtype=float)
-        if features.size == 0:
+        shape = item_data.get("features_shape")
+        if shape is not None:
+            features = features.reshape(tuple(int(n) for n in shape))
+        elif features.size == 0:
+            # Legacy documents (no stored shape): the empty stack's
+            # second dimension is unrecoverable.
             features = np.zeros((0, 0))
         library.add(
             TrainingItem(name=name, profiles=profiles, features=features)
@@ -103,9 +127,9 @@ def library_from_dict(data: dict) -> TrainingLibrary:
 
 
 def save_library(library: TrainingLibrary, path: str | Path) -> None:
-    """Write a training library as JSON."""
-    path = Path(path)
-    path.write_text(json.dumps(library_to_dict(library), indent=1))
+    """Write a training library as JSON (atomically: a crash mid-write
+    leaves any previous library file intact)."""
+    atomic_write_json(Path(path), library_to_dict(library))
 
 
 def load_library(path: str | Path) -> TrainingLibrary:

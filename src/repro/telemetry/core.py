@@ -20,6 +20,7 @@ import uuid
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro.ioutils import atomic_write_text
 from repro.telemetry.events import EventLog, fault_log_sink
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.trace import Tracer, TracingTimingReport
@@ -176,11 +177,9 @@ class Telemetry:
         the text exposition format, everything else JSON."""
         path = Path(path)
         if path.suffix in (".prom", ".txt"):
-            path.write_text(self.registry.render_text(), encoding="utf-8")
+            atomic_write_text(path, self.registry.render_text())
         else:
-            path.write_text(
-                self.registry.to_json(indent=2) + "\n", encoding="utf-8"
-            )
+            atomic_write_text(path, self.registry.to_json(indent=2) + "\n")
 
     def write_trace(self, path: str | Path) -> int:
         self.tracer.finish()

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterator
 
+from repro.ioutils import atomic_write_text
+
 
 @dataclass(frozen=True)
 class TelemetryEvent:
@@ -97,9 +99,10 @@ class EventLog:
 
     def write_jsonl(self, path: str | Path) -> int:
         records = list(self.iter_records())
-        with open(path, "w", encoding="utf-8") as fh:
-            for record in records:
-                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        atomic_write_text(
+            path,
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records),
+        )
         return len(records)
 
 

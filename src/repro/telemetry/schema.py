@@ -25,6 +25,20 @@ Three artefacts leave a run:
     {"schema": "repro.event.v1", "run_id": str, "time_s": float,
      "kind": str, "node_id": str, "detail": {...}}
 
+A fourth versioned artefact, the crash-safe deployment checkpoint
+(``--checkpoint-dir``, ``repro.checkpoint.v1``), is documented here
+for completeness but owned by :mod:`repro.checkpoint.store` (telemetry
+sits below checkpointing in the layer contract, so the validator —
+``CheckpointStore.load`` — lives there)::
+
+    {"schema": "repro.checkpoint.v1",
+     "kind": "run"|"chaos",
+     "fingerprint": {...},    # the run configuration that wrote it;
+                              # load() refuses a mismatched resume
+     "state": {...}}          # kind-specific payload: "run" carries
+                              # restorable engine state, "chaos"
+                              # carries replay-verification markers
+
 The validators raise :class:`SchemaError` naming the offending field;
 they are used by the local pytest suite and by the ``telemetry-smoke``
 CI job, so the documented schema and the emitted bytes cannot drift

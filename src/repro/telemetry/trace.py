@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterator
 
+from repro.ioutils import atomic_write_text
 from repro.perf.timing import TimingReport
 
 
@@ -179,11 +180,13 @@ class Tracer:
                 yield span.to_record(self.run_id)
 
     def write_jsonl(self, path: str | Path) -> int:
-        """Write one JSON record per closed span; returns the count."""
+        """Write one JSON record per closed span (atomically); returns
+        the count."""
         records = list(self.iter_records())
-        with open(path, "w", encoding="utf-8") as fh:
-            for record in records:
-                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        atomic_write_text(
+            path,
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records),
+        )
         return len(records)
 
 

@@ -1,0 +1,547 @@
+"""Crash-safe checkpoint/resume: store, codec, hooks, and the
+kill-and-resume golden equivalence.
+
+The tentpole guarantee under test: a deployment killed at a checkpoint
+and resumed in a fresh engine finishes **bit-identically** to one that
+was never interrupted — pinned against the same ``tests/goldens/``
+fixtures the engine-refactor regression uses, for all four
+coordination policies and both chaos configurations.
+"""
+
+import json
+import os
+import signal
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import (
+    CheckpointConfig,
+    CheckpointError,
+    CheckpointInterrupted,
+    CheckpointStore,
+    RunCheckpointer,
+    SimulatedCrash,
+)
+from repro.checkpoint.codec import (
+    decision_from_dict,
+    decision_to_dict,
+    restore_rng_state,
+    rng_state_to_dict,
+)
+from repro.core.accuracy import DesiredAccuracy, GlobalAccuracy
+from repro.core.controller import SelectionDecision
+from repro.ioutils import atomic_write_json
+from tests.golden_utils import (
+    GOLDEN_CHAOS_CONFIGS,
+    chaos_result_fingerprint,
+    golden_run_configs,
+    load_golden,
+    make_golden_runner,
+    run_result_fingerprint,
+)
+
+
+def normalize(fingerprint):
+    return json.loads(json.dumps(fingerprint))
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+class TestCheckpointStore:
+    FP = {"policy": "full", "seed": 7, "window": [1000, 1300]}
+
+    def test_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck")
+        store.save("run", self.FP, {"next_round": 2, "x": 0.1 + 0.2})
+        assert store.load("run", self.FP) == {
+            "next_round": 2,
+            "x": 0.1 + 0.2,  # doubles survive JSON exactly
+        }
+
+    def test_missing_checkpoint_is_fresh_start(self, tmp_path):
+        assert CheckpointStore(tmp_path).load("run", self.FP) is None
+
+    def test_fingerprint_mismatch_names_fields(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("run", self.FP, {"next_round": 1})
+        other = dict(self.FP, seed=8, policy="subset")
+        with pytest.raises(CheckpointError, match="policy, seed"):
+            store.load("run", other)
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("run", self.FP, {"next_round": 1})
+        with pytest.raises(CheckpointError, match="kind"):
+            store.load("chaos", self.FP)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.path.write_text(json.dumps({"schema": "repro.checkpoint.v0"}))
+        with pytest.raises(CheckpointError, match="schema"):
+            store.load("run", self.FP)
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.directory.mkdir(exist_ok=True)
+        store.path.write_text("{not json")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            store.load("run", self.FP)
+
+    def test_tuple_fingerprint_matches_disk_form(self, tmp_path):
+        """In-memory tuples must compare equal to their JSON arrays."""
+        store = CheckpointStore(tmp_path)
+        store.save("run", {"entropy": (1, 2, 3)}, {"next_round": 1})
+        assert store.load("run", {"entropy": [1, 2, 3]}) is not None
+
+
+# ----------------------------------------------------------------------
+# Atomic writes (satellite bugfix)
+# ----------------------------------------------------------------------
+class TestAtomicWrites:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"a": 1})
+        assert json.loads(path.read_text()) == {"a": 1}
+
+    def test_interrupted_write_preserves_previous_file(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash mid-write must leave the old contents, not a torn
+        file — the property the non-atomic ``save_library`` lacked."""
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"generation": 1})
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_json(path, {"generation": 2})
+        monkeypatch.undo()
+        assert json.loads(path.read_text()) == {"generation": 1}
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert not leftovers, f"temp files leaked: {leftovers}"
+
+    def test_save_library_is_atomic(self, tmp_path, monkeypatch):
+        from repro.persistence import load_library, save_library
+        from tests.test_persistence_cli import sample_library
+
+        path = tmp_path / "library.json"
+        save_library(sample_library(), path)
+        before = path.read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            save_library(sample_library(), path)
+        monkeypatch.undo()
+        assert path.read_text() == before
+        assert set(load_library(path).names) == {"T1", "T2"}
+
+    def test_checkpoint_save_is_atomic(self, tmp_path, monkeypatch):
+        store = CheckpointStore(tmp_path)
+        store.save("run", {"seed": 1}, {"next_round": 3})
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            store.save("run", {"seed": 1}, {"next_round": 4})
+        monkeypatch.undo()
+        assert store.load("run", {"seed": 1}) == {"next_round": 3}
+
+
+# ----------------------------------------------------------------------
+# Codec round-trips (property-based)
+# ----------------------------------------------------------------------
+class TestRngStateRoundTrip:
+    @given(seed=st.integers(0, 2**63 - 1), warmup=st.integers(0, 7))
+    @settings(max_examples=50, deadline=None)
+    def test_generator_resumes_bit_identically(self, seed, warmup):
+        original = np.random.default_rng(seed)
+        original.random(warmup)
+        # Through the same JSON round-trip the checkpoint file takes.
+        payload = json.loads(json.dumps(rng_state_to_dict(original)))
+        restored = np.random.default_rng(0)
+        restore_rng_state(restored, payload)
+        assert restored.random(16).tolist() == original.random(16).tolist()
+        assert (
+            restored.integers(0, 2**31, 8).tolist()
+            == original.integers(0, 2**31, 8).tolist()
+        )
+
+    def test_mt19937_state_with_ndarray_survives(self):
+        """Bit generators whose state holds arrays (MT19937's key)
+        need the ``__ndarray__`` encoding."""
+        original = np.random.Generator(np.random.MT19937(42))
+        original.random(3)
+        payload = json.loads(json.dumps(rng_state_to_dict(original)))
+        restored = np.random.Generator(np.random.MT19937(0))
+        restore_rng_state(restored, payload)
+        assert restored.random(8).tolist() == original.random(8).tolist()
+
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+#: GlobalAccuracy/DesiredAccuracy validate their fields: object counts
+#: are non-negative, probabilities live in [0, 1].
+objects = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+probability = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+accuracy = st.tuples(objects, probability)
+
+
+class TestDecisionRoundTrip:
+    @given(
+        num_active=st.integers(1, 4),
+        baseline=accuracy,
+        desired=accuracy,
+        achieved=accuracy,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_decision_survives_json(
+        self, num_active, baseline, desired, achieved
+    ):
+        cameras = [f"cam{i}" for i in range(num_active)]
+        decision = SelectionDecision(
+            assignment={c: "HOG" for c in cameras},
+            baseline=GlobalAccuracy(*baseline),
+            desired=DesiredAccuracy(*desired),
+            achieved=GlobalAccuracy(*achieved),
+            ranked_camera_ids=list(reversed(cameras)),
+        )
+        payload = json.loads(json.dumps(decision_to_dict(decision)))
+        restored = decision_from_dict(payload)
+        assert decision_to_dict(restored) == decision_to_dict(decision)
+
+
+class TestLibraryFeatureRoundTrip:
+    """Satellite bugfix: a ``(0, D)`` feature stack used to come back
+    as ``(0, 0)``."""
+
+    @given(
+        rows=st.integers(0, 4),
+        cols=st.integers(1, 5),
+        fill=finite,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_shape_round_trips(self, rows, cols, fill):
+        from repro.core.calibration import (
+            TrainingItem,
+            TrainingLibrary,
+        )
+        from repro.persistence import library_from_dict, library_to_dict
+        from tests.test_core_calibration import make_profile
+
+        library = TrainingLibrary()
+        library.add(
+            TrainingItem(
+                name="T1",
+                profiles={"HOG": make_profile("HOG")},
+                features=np.full((rows, cols), fill),
+            )
+        )
+        restored = library_from_dict(
+            json.loads(json.dumps(library_to_dict(library)))
+        )
+        features = restored.get("T1").features
+        assert features.shape == (rows, cols)
+        assert features.tolist() == np.full((rows, cols), fill).tolist()
+
+    def test_legacy_document_without_shape_still_loads(self):
+        from repro.persistence import library_from_dict, library_to_dict
+        from tests.test_persistence_cli import sample_library
+
+        data = library_to_dict(sample_library())
+        for item in data["items"].values():
+            del item["features_shape"]  # pre-shape-field document
+        restored = library_from_dict(data)
+        assert restored.get("T1").features.shape == (2, 3)
+
+    def test_malformed_calibrator_raises_descriptive_error(self):
+        from repro.persistence import library_from_dict, library_to_dict
+        from tests.test_persistence_cli import sample_library
+
+        data = library_to_dict(sample_library())
+        doc = data["items"]["T1"]["profiles"]["HOG"]
+        del doc["calibrator"]["weight"]  # fitted but incomplete
+        with pytest.raises(ValueError, match="malformed calibrator"):
+            library_from_dict(data)
+
+    def test_calibrator_restore_round_trips_probabilities(self):
+        from repro.detection.scores import ScoreCalibrator
+
+        fitted = ScoreCalibrator()
+        fitted.fit(
+            np.array([2.0, 1.5, -1.0, -1.5]), np.array([1, 1, 0, 0])
+        )
+        clone = ScoreCalibrator().restore(fitted.weight, fitted.bias)
+        assert clone.is_fitted
+        scores = np.linspace(-3, 3, 7)
+        assert (
+            clone.predict_proba(scores).tolist()
+            == fitted.predict_proba(scores).tolist()
+        )
+
+
+# ----------------------------------------------------------------------
+# Hooks: cadence, crash injection, SIGTERM
+# ----------------------------------------------------------------------
+class TestRunCheckpointer:
+    def test_config_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="every"):
+            CheckpointConfig(directory=tmp_path, every=0)
+        with pytest.raises(ValueError, match="crash_after"):
+            CheckpointConfig(directory=tmp_path, crash_after=-1)
+
+    def test_cadence_skips_off_beat_and_final_units(self, tmp_path):
+        ck = RunCheckpointer(CheckpointConfig(directory=tmp_path, every=2))
+        ck.begin("run", {"seed": 1})
+        saved = []
+        for position in range(5):
+            ck.unit_complete(
+                position, 5, lambda p=position: saved.append(p) or {"at": p}
+            )
+        ck.finish()
+        # completed counts 2 and 4 are due; 5 == total is the finished
+        # run, which needs no checkpoint.
+        assert saved == [1, 3]
+
+    def test_crash_after_writes_then_raises(self, tmp_path):
+        ck = RunCheckpointer(
+            CheckpointConfig(directory=tmp_path, crash_after=2)
+        )
+        ck.begin("run", {"seed": 1})
+        for position in range(2):
+            ck.unit_complete(position, 9, lambda: {"pos": position})
+        with pytest.raises(SimulatedCrash) as info:
+            ck.unit_complete(2, 9, lambda: {"pos": 2})
+        ck.finish()
+        assert info.value.position == 2
+        assert ck.store.load("run", {"seed": 1}) == {"pos": 2}
+
+    def test_sigterm_checkpoints_at_next_boundary(self, tmp_path):
+        ck = RunCheckpointer(
+            CheckpointConfig(directory=tmp_path, every=100)
+        )
+        previous = signal.getsignal(signal.SIGTERM)
+        ck.begin("run", {"seed": 1})
+        try:
+            ck.unit_complete(0, 10, lambda: {"pos": 0})
+            signal.raise_signal(signal.SIGTERM)  # orchestrator shutdown
+            with pytest.raises(CheckpointInterrupted) as info:
+                ck.unit_complete(1, 10, lambda: {"pos": 1})
+        finally:
+            ck.finish()
+        assert info.value.position == 1
+        assert ck.store.load("run", {"seed": 1}) == {"pos": 1}
+        assert signal.getsignal(signal.SIGTERM) is previous
+
+    def test_resume_with_empty_directory_starts_fresh(self, tmp_path):
+        ck = RunCheckpointer(
+            CheckpointConfig(directory=tmp_path, resume=True)
+        )
+        assert ck.begin("run", {"seed": 1}) is None
+        ck.finish()
+
+
+# ----------------------------------------------------------------------
+# Kill-and-resume golden equivalence (the tentpole guarantee)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def crashed_runner():
+    """The engine that dies — same construction as the goldens."""
+    return make_golden_runner()
+
+
+@pytest.fixture(scope="module")
+def fresh_runner():
+    """A separate engine standing in for the restarted process."""
+    return make_golden_runner()
+
+
+@pytest.fixture(scope="module")
+def run_goldens():
+    return load_golden("run_results")
+
+
+@pytest.fixture(scope="module")
+def chaos_goldens():
+    return load_golden("chaos_results")
+
+
+def engine_run(runner, config, checkpointer):
+    kwargs = dict(config)
+    mode = kwargs.pop("mode")
+    return runner.engine.run(mode, checkpointer=checkpointer, **kwargs)
+
+
+class TestRunKillAndResume:
+    @pytest.mark.parametrize(
+        "name", ["all_best", "subset", "full", "fixed"]
+    )
+    def test_resumed_run_matches_golden(
+        self, crashed_runner, fresh_runner, run_goldens, tmp_path, name
+    ):
+        """Crash after the checkpoint, resume in a fresh engine, and
+        the completed result is bit-identical to the uninterrupted
+        golden — every RunResult field, floats by exact equality."""
+        configs = golden_run_configs(crashed_runner.dataset.camera_ids)
+        with pytest.raises(SimulatedCrash):
+            engine_run(
+                crashed_runner,
+                configs[name],
+                RunCheckpointer(
+                    CheckpointConfig(directory=tmp_path, crash_after=0)
+                ),
+            )
+        resumed = engine_run(
+            fresh_runner,
+            configs[name],
+            RunCheckpointer(
+                CheckpointConfig(directory=tmp_path, resume=True)
+            ),
+        )
+        assert normalize(run_result_fingerprint(resumed)) == (
+            run_goldens[name]
+        ), f"resumed {name!r} run drifted from the golden"
+
+    def test_mismatched_config_refuses_resume(
+        self, fresh_runner, tmp_path
+    ):
+        configs = golden_run_configs(fresh_runner.dataset.camera_ids)
+        with pytest.raises(SimulatedCrash):
+            engine_run(
+                fresh_runner,
+                configs["full"],
+                RunCheckpointer(
+                    CheckpointConfig(directory=tmp_path, crash_after=0)
+                ),
+            )
+        with pytest.raises(CheckpointError, match="different run"):
+            engine_run(
+                fresh_runner,
+                configs["all_best"],
+                RunCheckpointer(
+                    CheckpointConfig(directory=tmp_path, resume=True)
+                ),
+            )
+
+
+class TestMultiRoundResume:
+    """Mid-run resume with partial accumulators: a smaller
+    re-calibration interval gives the golden window three rounds, so
+    the checkpoint is taken with genuinely in-flight state."""
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        from repro.core.config import EECSConfig
+
+        return EECSConfig(recalibration_interval=100)
+
+    @pytest.fixture(scope="class")
+    def spec_kwargs(self):
+        return dict(
+            dataset_number=1,
+            policy="full",
+            start=1000,
+            end=1300,
+            seed=11,
+        )
+
+    @pytest.fixture(scope="class")
+    def reference(self, config, spec_kwargs):
+        from repro.engine.spec import DeploymentSpec
+
+        result = DeploymentSpec(**spec_kwargs).execute(config=config)
+        assert len(result.decisions) == 3, "window should span 3 rounds"
+        return normalize(run_result_fingerprint(result))
+
+    def test_resume_after_second_round(
+        self, config, spec_kwargs, reference, tmp_path
+    ):
+        from repro.engine.spec import DeploymentSpec
+
+        with pytest.raises(SimulatedCrash) as info:
+            DeploymentSpec(**spec_kwargs).execute(
+                config=config,
+                checkpointer=RunCheckpointer(
+                    CheckpointConfig(directory=tmp_path, crash_after=1)
+                ),
+            )
+        assert info.value.position == 1
+        # Resume with a different executor width: workers is not part
+        # of the fingerprint because any backend is bit-identical.
+        resumed = DeploymentSpec(
+            **spec_kwargs,
+            workers=2,
+            checkpoint_dir=str(tmp_path),
+            resume=True,
+        ).execute(config=config)
+        assert normalize(run_result_fingerprint(resumed)) == reference
+
+
+class TestChaosKillAndResume:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CHAOS_CONFIGS))
+    def test_replay_resume_matches_golden(
+        self, crashed_runner, fresh_runner, chaos_goldens, tmp_path, name
+    ):
+        """Kill the event-driven run mid-flight; the resumed
+        (seeded-replay) run must match the uninterrupted golden and
+        pass the recorded-prefix verification."""
+        from repro.experiments.faults import ChaosSpec, run_chaos
+
+        spec = ChaosSpec(**GOLDEN_CHAOS_CONFIGS[name])
+        with pytest.raises(SimulatedCrash):
+            run_chaos(
+                spec,
+                crashed_runner,
+                checkpoint=CheckpointConfig(
+                    directory=tmp_path, every=2, crash_after=5
+                ),
+            )
+        resumed = run_chaos(
+            spec,
+            fresh_runner,
+            checkpoint=CheckpointConfig(directory=tmp_path, resume=True),
+        )
+        assert normalize(chaos_result_fingerprint(resumed)) == (
+            chaos_goldens[name]
+        ), f"resumed chaos run {name!r} drifted from the golden"
+
+    def test_divergent_replay_is_rejected(
+        self, fresh_runner, tmp_path
+    ):
+        """Tampering with the recorded fault log must fail the
+        replay-prefix verification instead of resuming silently."""
+        from repro.experiments.faults import ChaosSpec, run_chaos
+
+        spec = ChaosSpec(**GOLDEN_CHAOS_CONFIGS["faulty"])
+        with pytest.raises(SimulatedCrash):
+            run_chaos(
+                spec,
+                fresh_runner,
+                checkpoint=CheckpointConfig(
+                    directory=tmp_path, crash_after=8
+                ),
+            )
+        store = CheckpointStore(tmp_path)
+        document = json.loads(store.path.read_text())
+        assert document["state"]["fault_events"], (
+            "the faulty golden should have faults before the crash"
+        )
+        document["state"]["fault_events"][0]["time_s"] += 1.0
+        store.path.write_text(json.dumps(document))
+        with pytest.raises(CheckpointError, match="diverges"):
+            run_chaos(
+                spec,
+                fresh_runner,
+                checkpoint=CheckpointConfig(
+                    directory=tmp_path, resume=True
+                ),
+            )

@@ -23,3 +23,38 @@ class TestCliDeployment:
         assert code == 0
         out = capsys.readouterr().out
         assert "adaptive" in out
+
+
+class TestCliCheckpoint:
+    BASE = [
+        "run", "--dataset", "1", "--mode", "full", "--seed", "7",
+        "--start", "1000", "--end", "1300",
+        "--recalibration-interval", "100",
+    ]
+
+    def test_run_checkpoint_crash_and_resume(self, capsys, tmp_path):
+        """Kill at a round boundary (exit 3), resume bit-identically."""
+        reference = tmp_path / "reference.json"
+        resumed = tmp_path / "resumed.json"
+        ckpt = tmp_path / "ckpt"
+
+        code = main(self.BASE + ["--result-out", str(reference)])
+        assert code == 0
+
+        code = main(self.BASE + [
+            "--checkpoint-dir", str(ckpt), "--crash-after", "0",
+        ])
+        assert code == 3
+        assert "interrupted" in capsys.readouterr().out
+        assert list(ckpt.glob("*.json")), "no checkpoint written"
+
+        code = main(self.BASE + [
+            "--checkpoint-dir", str(ckpt), "--resume",
+            "--result-out", str(resumed),
+        ])
+        assert code == 0
+        assert reference.read_bytes() == resumed.read_bytes()
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--resume"])

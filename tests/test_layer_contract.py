@@ -33,6 +33,10 @@ CONTRACTS = {
     "repro.faults": ("repro.engine", "repro.experiments", "repro.cli"),
     "repro.telemetry": ("repro.engine", "repro.experiments", "repro.cli"),
     "repro.perf": ("repro.engine", "repro.experiments", "repro.cli"),
+    # Checkpointing encodes values and stores documents; the engine
+    # decides what its state is.  The engine imports checkpoint, never
+    # the other way around.
+    "repro.checkpoint": ("repro.engine", "repro.experiments", "repro.cli"),
 }
 
 
