@@ -251,6 +251,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         train_seed=args.seed,
         workers=args.workers,
+        executor=args.executor,
     )
     checkpoint_config = _make_checkpoint_config(args)
     checkpointer = (
@@ -269,6 +270,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        # Release pools and shared-memory segments on every exit path
+        # (/dev/shm leaks otherwise survive the process).
+        engine.close()
     if args.result_out:
         from repro.checkpoint.codec import run_result_to_dict
         from repro.ioutils import atomic_write_json
@@ -510,6 +515,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="fan per-camera detection over N processes "
         "(identical results for any N; 1 = serial)",
+    )
+    p.add_argument(
+        "--executor",
+        choices=("serial", "pool", "shm"),
+        default=None,
+        help="detection executor backend: serial (in-process reference), "
+        "pool (persistent process pool) or shm (process pool reading "
+        "frames zero-copy from shared memory); default picks serial "
+        "for --workers 1, pool otherwise — every backend is "
+        "bit-identical",
     )
     p.add_argument(
         "--perf-report",

@@ -219,10 +219,21 @@ class EECSController:
                 f"camera {camera_id!r} has no matched training item"
             )
         item = self.library.get(state.matched_item)
+        by_algorithm: dict[str, list[Detection]] = {}
         for det in detections:
-            calibrator = item.profile(det.algorithm).calibrator
-            if calibrator.is_fitted:
-                det.probability = calibrator(det.score)
+            by_algorithm.setdefault(det.algorithm, []).append(det)
+        for algorithm, dets in by_algorithm.items():
+            calibrator = item.profile(algorithm).calibrator
+            if not calibrator.is_fitted:
+                continue
+            # One elementwise pass per algorithm; each element sees the
+            # exact ops the scalar __call__ applies, so probabilities
+            # are bit-identical to per-detection calibration.
+            probs = calibrator.predict_proba(
+                np.array([det.score for det in dets])
+            )
+            for det, prob in zip(dets, probs):
+                det.probability = float(prob)
         return detections
 
     # ------------------------------------------------------------------

@@ -42,12 +42,7 @@ from repro.engine.context import (
     fit_color_metric,
     offline_train_camera,
 )
-from repro.engine.core import (
-    DeploymentEngine,
-    RunResult,
-    _detect_task,
-    _DetectTask,
-)
+from repro.engine.core import DeploymentEngine, RunResult
 from repro.engine.executor import make_executor
 from repro.perf.timing import TimingReport
 from repro.telemetry.core import Telemetry

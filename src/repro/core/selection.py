@@ -39,6 +39,14 @@ class AssessmentData:
     frames: list[dict[str, dict[str, list[Detection]]]] = field(
         default_factory=list
     )
+    #: Memo of fused accuracies keyed by assignment (see
+    #: :meth:`SelectionEngine.global_accuracy`).  Selection evaluates
+    #: the same assignment repeatedly (baseline, greedy growth,
+    #: downgrade trials); the memo ties the cache's lifetime to the
+    #: assessment whose metadata it summarises.
+    accuracy_cache: dict[tuple, "GlobalAccuracy"] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def num_frames(self) -> int:
@@ -104,7 +112,16 @@ class SelectionEngine:
         assessment: AssessmentData,
         assignment: dict[str, str],
     ) -> GlobalAccuracy:
-        """Fused ``(N, P-bar)`` for a camera->algorithm assignment."""
+        """Fused ``(N, P-bar)`` for a camera->algorithm assignment.
+
+        Results are memoised per assignment on the assessment itself:
+        the metadata is immutable once collected, so the fused accuracy
+        of an assignment never changes within one assessment period.
+        """
+        key = tuple(sorted(assignment.items()))
+        cached = assessment.accuracy_cache.get(key)
+        if cached is not None:
+            return cached
         frame_groups = []
         for frame_idx in range(assessment.num_frames):
             detections: list[Detection] = []
@@ -113,7 +130,9 @@ class SelectionEngine:
                     assessment.detections(frame_idx, camera_id, algorithm)
                 )
             frame_groups.append(self.matcher.group(detections))
-        return estimate_global_accuracy(frame_groups)
+        result = estimate_global_accuracy(frame_groups)
+        assessment.accuracy_cache[key] = result
+        return result
 
     def individual_accuracy(
         self,

@@ -204,3 +204,36 @@ def make_dataset(number: int) -> SyntheticDataset:
             f"unknown dataset #{number}; available: {sorted(DATASET_SPECS)}"
         ) from None
     return SyntheticDataset(spec)
+
+
+def make_scaled_dataset(
+    num_cameras: int, base_number: int = 1
+) -> SyntheticDataset:
+    """A fleet-scale variant of a standard dataset.
+
+    Same environment, people and frame schedule as dataset
+    ``base_number``, but with ``num_cameras`` cameras on the ring —
+    the substrate for the throughput benchmarks at 16/64 cameras.
+    The first cameras reproduce the base dataset's placements exactly
+    (see :func:`~repro.world.scene.make_camera_ring`).
+    """
+    try:
+        base = DATASET_SPECS[base_number]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset #{base_number}; "
+            f"available: {sorted(DATASET_SPECS)}"
+        ) from None
+    if num_cameras < 1:
+        raise ValueError("need at least one camera")
+    spec = DatasetSpec(
+        name=f"{base.name}-{num_cameras}cam",
+        environment=base.environment,
+        num_people=base.num_people,
+        num_cameras=num_cameras,
+        total_frames=base.total_frames,
+        gt_every=base.gt_every,
+        train_end=base.train_end,
+        bounds=base.bounds,
+    )
+    return SyntheticDataset(spec)

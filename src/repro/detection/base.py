@@ -123,5 +123,25 @@ class Detector(abc.ABC):
                 candidates are returned (callers sweep thresholds).
         """
 
+    def detect_batch(self, tasks) -> list[list[Detection]]:
+        """Run many self-seeded detection tasks; results in task order.
+
+        ``tasks`` are :class:`~repro.detection.batch.DetectionTask`
+        records (or anything with ``observation`` / ``entropy`` /
+        ``threshold``).  The default seeds one generator per task and
+        loops :meth:`detect`; batch-aware detectors override this to
+        vectorise shared work across the group.  Either way the
+        results are bit-identical — every task's generator depends
+        only on its own entropy.
+        """
+        return [
+            self.detect(
+                task.observation,
+                np.random.default_rng(list(task.entropy)),
+                threshold=task.threshold,
+            )
+            for task in tasks
+        ]
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"{type(self).__name__}(name={self.name!r})"

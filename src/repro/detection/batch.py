@@ -1,0 +1,95 @@
+"""Batched detection: a round's tasks as one unit of work.
+
+The engine used to fan detection out one closure per (frame, camera,
+algorithm) triple.  A :class:`DetectionBatch` instead carries the
+round's tasks as plain data — each task names its algorithm, its frame
+observation and the seed entropy of its private generator — so an
+executor backend can ship, split and run them however it likes while
+:func:`run_batch` guarantees the semantics: tasks grouped by
+algorithm, results returned in task order, every task seeded from its
+own entropy.
+
+Because each task's generator is a pure function of its (frame,
+camera, algorithm) coordinates, batching changes *where* and *in what
+grouping* tasks run but never *what* they compute: results are
+bit-identical to the one-task-at-a-time path on any backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro.detection.base import Detection, Detector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.world.renderer import FrameObservation
+
+
+@dataclass(frozen=True)
+class DetectionTask:
+    """One self-contained detection work unit.
+
+    Attributes:
+        algorithm: Name of the detector to run (a key of the engine's
+            detector suite).
+        observation: The frame observation to detect on.  Executors
+            that ship frames through shared memory substitute a
+            lightweight reference here and resolve it worker-side.
+        entropy: Seed entropy of the task's private generator — a pure
+            function of the run configuration and the task's (frame,
+            camera, algorithm) coordinates, never of execution order.
+        threshold: Score cut-off (``None`` keeps every candidate).
+    """
+
+    algorithm: str
+    observation: "FrameObservation"
+    entropy: tuple[int, ...]
+    threshold: float | None
+
+    def make_rng(self) -> np.random.Generator:
+        """The task's private, coordinate-seeded generator."""
+        return np.random.default_rng(list(self.entropy))
+
+
+@dataclass(frozen=True)
+class DetectionBatch:
+    """An ordered collection of detection tasks for one fan-out."""
+
+    tasks: tuple[DetectionTask, ...]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def by_algorithm(self) -> dict[str, list[int]]:
+        """Task indices grouped by algorithm, in first-seen order."""
+        groups: dict[str, list[int]] = {}
+        for index, task in enumerate(self.tasks):
+            groups.setdefault(task.algorithm, []).append(index)
+        return groups
+
+
+def run_batch(
+    detectors: Mapping[str, Detector],
+    tasks: Sequence[DetectionTask],
+) -> list[list[Detection]]:
+    """Execute tasks against a detector suite, preserving task order.
+
+    Tasks are grouped by algorithm so batch-aware detectors (see
+    ``SimulatedDetector.detect_batch``) can vectorise their shared
+    per-view computation across the whole group; detectors without a
+    batch entry point fall back to the per-task loop in
+    :meth:`~repro.detection.base.Detector.detect_batch`.
+    """
+    results: list[list[Detection] | None] = [None] * len(tasks)
+    groups: dict[str, list[int]] = {}
+    for index, task in enumerate(tasks):
+        groups.setdefault(task.algorithm, []).append(index)
+    for algorithm, indices in groups.items():
+        detector = detectors[algorithm]
+        outputs = detector.detect_batch([tasks[i] for i in indices])
+        for index, output in zip(indices, outputs):
+            results[index] = output
+    return results  # type: ignore[return-value]

@@ -34,7 +34,10 @@ from repro.detection.view_stats import (
     ViewStatistics,
     nominal_statistics,
 )
-from repro.vision.color import synthetic_color_feature
+from repro.vision.color import (
+    synthetic_color_feature,
+    synthetic_color_from_gauss,
+)
 from repro.world.environment import Environment
 from repro.world.renderer import FrameObservation, ObjectView
 
@@ -167,13 +170,33 @@ class SimulatedDetector(Detector):
     # ------------------------------------------------------------------
     def _penalty(self, view: ObjectView) -> float:
         p = self.profile
-        size_deficit = float(
-            np.clip(1.0 - view.pixel_height / self._size_ref, 0.0, 1.0)
+        size_deficit = min(
+            1.0, max(0.0, 1.0 - view.pixel_height / self._size_ref)
         )
         return (
             p.occlusion_sensitivity * view.occlusion
             + p.size_sensitivity * size_deficit
             + p.contrast_sensitivity * (1.0 - view.contrast)
+        )
+
+    def _penalties(self, views: list[ObjectView]) -> np.ndarray:
+        """Vectorised :meth:`_penalty` over many views.
+
+        Elementwise only (no reductions), with the exact expression
+        structure of the scalar path, so each entry is bit-identical
+        to ``_penalty(view)``.
+        """
+        if not views:
+            return np.empty(0)
+        p = self.profile
+        heights = np.array([v.pixel_height for v in views])
+        occlusion = np.array([v.occlusion for v in views])
+        contrast = np.array([v.contrast for v in views])
+        size_deficit = np.clip(1.0 - heights / self._size_ref, 0.0, 1.0)
+        return (
+            p.occlusion_sensitivity * occlusion
+            + p.size_sensitivity * size_deficit
+            + p.contrast_sensitivity * (1.0 - contrast)
         )
 
     def score_view(self, view: ObjectView, rng: np.random.Generator) -> float:
@@ -205,10 +228,17 @@ class SimulatedDetector(Detector):
         clutter = observation.clutter_regions
         if clutter and rng.random() < 0.8:
             cx, cy, cw, ch = clutter[rng.integers(len(clutter))]
-            h = float(np.clip(ch * rng.uniform(0.7, 1.1), 8.0, env.height))
+            # Scalar min/max compute np.clip's result without the
+            # per-call ufunc dispatch; this sits on the per-FP path.
+            h = float(min(env.height, max(8.0, ch * rng.uniform(0.7, 1.1))))
             w = h * rng.uniform(0.35, 0.5)
-            x = float(np.clip(cx + rng.uniform(-0.2, 0.8) * cw, 0, env.width - w))
-            y = float(np.clip(cy + ch - h, 0, env.height - h))
+            x = float(
+                min(
+                    env.width - w,
+                    max(0.0, cx + rng.uniform(-0.2, 0.8) * cw),
+                )
+            )
+            y = float(min(env.height - h, max(0.0, cy + ch - h)))
         else:
             h = rng.uniform(0.15, 0.45) * env.height
             w = h * rng.uniform(0.35, 0.5)
@@ -223,6 +253,130 @@ class SimulatedDetector(Detector):
         threshold: float | None = None,
     ) -> list[Detection]:
         """Score all candidates; keep those above ``threshold`` if given."""
+        return self._detect_with_penalties(
+            observation,
+            rng,
+            threshold,
+            self._penalties(observation.objects),
+        )
+
+    def detect_batch(self, tasks) -> list[list[Detection]]:
+        """Batched entry point: vectorise per-view penalties across a
+        whole group of tasks, then run each task on its own generator.
+
+        The penalty model is deterministic, so hoisting it out of the
+        per-task loop changes nothing; each task still consumes its
+        coordinate-seeded generator exactly as :meth:`detect` would.
+        """
+        all_views: list[ObjectView] = []
+        offsets = [0]
+        for task in tasks:
+            all_views.extend(task.observation.objects)
+            offsets.append(len(all_views))
+        penalties = self._penalties(all_views)
+        return [
+            self._detect_with_penalties(
+                task.observation,
+                np.random.default_rng(list(task.entropy)),
+                task.threshold,
+                penalties[offsets[index] : offsets[index + 1]],
+            )
+            for index, task in enumerate(tasks)
+        ]
+
+    def _detect_with_penalties(
+        self,
+        observation: FrameObservation,
+        rng: np.random.Generator,
+        threshold: float | None,
+        penalties: np.ndarray,
+    ) -> list[Detection]:
+        """The response model with view penalties precomputed.
+
+        Draws the generator in the reference order (one score normal
+        per view; box jitter, then colour noise, for survivors; the
+        false-positive populations last) but through batched fills —
+        ``standard_normal(44)`` consumes exactly the 4 + 40 values the
+        unbatched path draws one by one, and an ``exponential(size=n)``
+        fill matches n sequential scalar draws — so the output is
+        bit-identical to :meth:`detect_reference`.
+        """
+        detections: list[Detection] = []
+        camera_id = observation.camera_id
+        frame_index = observation.frame_index
+        mu = self._tp_mu
+        sigma = self._sigma
+        jitter = 0.04
+        for index, view in enumerate(observation.objects):
+            score = float(mu - penalties[index] + sigma * rng.standard_normal())
+            if threshold is not None and score < threshold:
+                continue
+            gauss = rng.standard_normal(44)
+            bx, by, bw, bh = view.bbox
+            x_scale = jitter * max(bw, 1.0)
+            y_scale = jitter * max(bh, 1.0)
+            detections.append(
+                Detection(
+                    bbox=BoundingBox(
+                        x=bx + x_scale * gauss[0],
+                        y=by + y_scale * gauss[1],
+                        w=max(1.0, bw * (1.0 + jitter * gauss[2])),
+                        h=max(1.0, bh * (1.0 + jitter * gauss[3])),
+                    ),
+                    score=score,
+                    camera_id=camera_id,
+                    frame_index=frame_index,
+                    algorithm=self.name,
+                    color_feature=synthetic_color_from_gauss(
+                        view.shade, gauss[4:]
+                    ),
+                    truth_id=view.person_id,
+                )
+            )
+        background_shade = self.environment.brightness
+        n_wall = rng.poisson(self._fp_count)
+        n_conf = rng.poisson(self._conf_count) if self._conf_count > 0 else 0
+        fp_scores = (
+            self._fp_loc + rng.exponential(self._fp_tail, size=n_wall)
+        ).tolist()
+        if n_conf:
+            fp_scores.extend(
+                (
+                    self._conf_mu
+                    + rng.normal(scale=self._sigma_eff, size=n_conf)
+                ).tolist()
+            )
+        for score in fp_scores:
+            if threshold is not None and score < threshold:
+                continue
+            detections.append(
+                Detection(
+                    bbox=self._false_positive_box(observation, rng),
+                    score=score,
+                    camera_id=camera_id,
+                    frame_index=frame_index,
+                    algorithm=self.name,
+                    color_feature=synthetic_color_feature(
+                        background_shade * 0.6, rng, noise=0.08
+                    ),
+                    truth_id=None,
+                )
+            )
+        detections.sort(key=lambda d: -d.score)
+        return detections
+
+    def detect_reference(
+        self,
+        observation: FrameObservation,
+        rng: np.random.Generator,
+        threshold: float | None = None,
+    ) -> list[Detection]:
+        """The pinned one-draw-at-a-time response model.
+
+        Kept verbatim as the oracle for the batched-path equivalence
+        tests and as the honest baseline in the scale benchmarks; any
+        divergence from :meth:`detect` is a bug in the batched path.
+        """
         detections: list[Detection] = []
         for view in observation.objects:
             score = self.score_view(view, rng)

@@ -9,8 +9,8 @@ One simulation core behind every way the repo runs a deployment:
   :class:`CoordinationPolicy` strategies (all-best, subset, full
   EECS, fixed) with a by-name registry.
 * :mod:`repro.engine.executor` — :class:`DetectionExecutor`
-  backends (serial reference, process pool), bit-identical by
-  construction.
+  backends (serial reference, process pool, zero-copy shared
+  memory), bit-identical by construction.
 * :mod:`repro.engine.environment` — :class:`Environment` seam:
   ideal in-process frame feed vs. the fault-injected network.
 * :mod:`repro.engine.context` — the immutable trained substrate
@@ -41,10 +41,14 @@ from repro.engine.environment import (
     NetworkOutcome,
 )
 from repro.engine.executor import (
+    EXECUTOR_BACKENDS,
     DetectionExecutor,
     ProcessPoolDetectionExecutor,
     SerialDetectionExecutor,
+    SharedFrameStore,
+    SharedMemoryDetectionExecutor,
     make_executor,
+    validate_executor_name,
 )
 from repro.engine.policy import (
     AllBestPolicy,
@@ -67,6 +71,7 @@ __all__ = [
     "DeploymentEngine",
     "DeploymentSpec",
     "DetectionExecutor",
+    "EXECUTOR_BACKENDS",
     "Environment",
     "FaultInjectedEnvironment",
     "FixedAssignmentPolicy",
@@ -78,6 +83,8 @@ __all__ = [
     "RoundPlan",
     "RunResult",
     "SerialDetectionExecutor",
+    "SharedFrameStore",
+    "SharedMemoryDetectionExecutor",
     "SimulationClock",
     "SubsetPolicy",
     "available_policies",
@@ -86,5 +93,6 @@ __all__ = [
     "register_policy",
     "resolve_policy",
     "shared_context",
+    "validate_executor_name",
     "validate_policy_name",
 ]

@@ -18,10 +18,12 @@ pluggable:
   branching: a policy plans rounds and turns assessments into
   decisions);
 * **how detection executes** comes from a
-  :class:`~repro.engine.executor.DetectionExecutor` (serial reference
-  backend or process pool — bit-identical by construction, because
-  every task seeds its own generator from the run entropy plus its
-  (frame, camera, algorithm) coordinates);
+  :class:`~repro.engine.executor.DetectionExecutor`: the engine packs
+  a round's (frame, camera, algorithm) triples into one
+  :class:`~repro.detection.batch.DetectionBatch` and hands it to the
+  backend (serial reference, process pool, or zero-copy shared-memory
+  pool) — bit-identical by construction, because every task seeds its
+  own generator from the run entropy plus its coordinates;
 * **where the deployment runs** comes from an
   :class:`~repro.engine.environment.Environment` (ideal in-process
   frame feed, or the fault-injected discrete-event network).
@@ -33,6 +35,7 @@ metering all live here, once.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -51,7 +54,8 @@ from repro.core.controller import EECSController, SelectionDecision
 from repro.core.selection import AssessmentData
 from repro.datasets.base import FrameRecord
 from repro.datasets.groundtruth import persons_in_any_view
-from repro.detection.base import Detection, Detector
+from repro.detection.base import Detection
+from repro.detection.batch import DetectionBatch, DetectionTask
 from repro.energy.battery import Battery
 from repro.energy.communication import CommunicationEnergyModel
 from repro.energy.meter import EnergyMeter
@@ -102,22 +106,6 @@ class RunResult:
         if self.frames_evaluated == 0:
             return 0.0
         return self.processing_seconds / self.frames_evaluated
-
-
-#: One detection work unit: everything a worker process needs, with no
-#: shared state — (detector, observation, rng seed entropy, threshold).
-_DetectTask = tuple[Detector, object, tuple[int, ...], float | None]
-
-
-def _detect_task(task: _DetectTask) -> list[Detection]:
-    """Run one detector on one observation with a task-local generator.
-
-    Module-level (picklable) and pure apart from the freshly seeded
-    generator, so every execution backend agrees bit for bit.
-    """
-    detector, observation, entropy, threshold = task
-    rng = np.random.default_rng(list(entropy))
-    return detector.detect(observation, rng, threshold=threshold)
 
 
 def count_true_detections(groups, present: set) -> int:
@@ -187,6 +175,12 @@ class DeploymentEngine:
             name: index for index, name in enumerate(sorted(self.detectors))
         }
         self._run_entropy: tuple[int, ...] = (seed,)
+
+    def close(self) -> None:
+        """Release the engine's executor backend (pools, shared
+        segments).  Safe to call more than once; the serial backend
+        makes this a no-op."""
+        self.executor.close()
 
     def _instrumented_battery(self, camera_id: str) -> Battery:
         battery = Battery()
@@ -280,21 +274,28 @@ class DeploymentEngine:
         Returns detections keyed by
         ``(frame_index, camera_id, algorithm)``.
         """
-        tasks: list[_DetectTask] = []
+        tasks: list[DetectionTask] = []
         for record, camera_id, algorithm in requests:
             threshold = (
                 self.library.get(f"T-{camera_id}")
                 .profile(algorithm)
                 .threshold
             )
-            tasks.append((
-                self.detectors[algorithm],
-                record.observation(camera_id),
-                self._task_entropy(record, camera_id, algorithm),
-                threshold,
-            ))
+            tasks.append(
+                DetectionTask(
+                    algorithm=algorithm,
+                    observation=record.observation(camera_id),
+                    entropy=self._task_entropy(record, camera_id, algorithm),
+                    threshold=threshold,
+                )
+            )
+        batch = DetectionBatch(tasks=tuple(tasks))
         with self.timing.section("detection"):
-            results = self._active_executor.map(_detect_task, tasks)
+            elapsed = time.perf_counter()
+            results = self._active_executor.execute(batch, self.detectors)
+            elapsed = time.perf_counter() - elapsed
+        if self.telemetry is not None:
+            self._record_batch_metrics(batch, elapsed)
         out: dict[tuple[int, str, str], list[Detection]] = {}
         for (record, camera_id, algorithm), detections in zip(
             requests, results
@@ -318,6 +319,48 @@ class DeploymentEngine:
             )
             out[(record.frame_index, camera_id, algorithm)] = detections
         return out
+
+    def _record_batch_metrics(
+        self, batch: DetectionBatch, elapsed: float
+    ) -> None:
+        """Wire one executed batch into the telemetry registry."""
+        registry = self.telemetry.registry
+        backend = self._active_executor.name
+        registry.counter(
+            "detection_batches_total",
+            "Detection batches handed to the executor.",
+            labels=("backend",),
+        ).inc(backend=backend)
+        registry.counter(
+            "detection_batch_tasks_total",
+            "Detection tasks executed via batches.",
+            labels=("backend",),
+        ).inc(len(batch), backend=backend)
+        registry.counter(
+            "detection_execute_seconds_total",
+            "Wall-clock seconds spent inside executor.execute().",
+            labels=("backend",),
+        ).inc(elapsed, backend=backend)
+        stats = self._active_executor.drain_stats()
+        if stats:
+            registry.counter(
+                "shm_frame_publishes_total",
+                "Shared-memory frame store lookups.",
+                labels=("outcome",),
+            ).inc(stats.get("shm_hits", 0), outcome="hit")
+            registry.counter(
+                "shm_frame_publishes_total",
+                "Shared-memory frame store lookups.",
+                labels=("outcome",),
+            ).inc(stats.get("shm_misses", 0), outcome="miss")
+            registry.gauge(
+                "shm_segments",
+                "Shared-memory segments currently allocated.",
+            ).set(stats.get("shm_segments", 0))
+            registry.gauge(
+                "shm_published_bytes",
+                "Total frame bytes published to shared memory.",
+            ).set(stats.get("shm_published_bytes", 0))
 
     def affordable_algorithms(
         self, camera_id: str, budget: float | None
@@ -487,9 +530,14 @@ class DeploymentEngine:
         """
         policy = resolve_policy(policy)
         policy.validate(assignment)
-        self._active_executor = (
-            self.executor if workers is None else make_executor(workers)
-        )
+        run_executor: DetectionExecutor | None = None
+        if workers is not None:
+            # Per-run override owns its backend: closed when the run
+            # finishes so pools and shared segments never leak.
+            run_executor = make_executor(workers)
+            self._active_executor = run_executor
+        else:
+            self._active_executor = self.executor
 
         # Reseed per run configuration so results are independent of
         # how many runs preceded this one on the shared engine.  The
@@ -596,6 +644,9 @@ class DeploymentEngine:
                 self.telemetry.tracer.end(run_span)
             if checkpointer is not None:
                 checkpointer.finish()
+            if run_executor is not None:
+                run_executor.close()
+                self._active_executor = self.executor
 
         if self.telemetry is not None:
             self._record_run_metrics(

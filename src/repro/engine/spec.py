@@ -21,7 +21,7 @@ from repro.checkpoint.hooks import CheckpointConfig, RunCheckpointer
 from repro.core.config import EECSConfig
 from repro.engine.context import shared_context
 from repro.engine.core import DeploymentEngine, RunResult
-from repro.engine.executor import make_executor
+from repro.engine.executor import make_executor, validate_executor_name
 from repro.engine.policy import resolve_policy
 from repro.perf.timing import TimingReport
 
@@ -43,6 +43,13 @@ class DeploymentSpec:
         train_seed: Offline-training seed; ``None`` uses the shared
             per-dataset convention (``2017 + dataset_number``).
         workers: Detection executor backend width (1 = serial).
+        executor: Executor backend name (``"serial"``, ``"pool"`` or
+            ``"shm"``; validated at construction).  ``None`` keeps the
+            historical convention: serial for ``workers == 1``, the
+            process pool otherwise.  Like ``workers``, the backend is
+            absent from the checkpoint fingerprint — every backend
+            reproduces the serial run bit for bit, so a deployment may
+            resume under a different one.
         checkpoint_dir: Directory for crash-safe run checkpoints
             (``None`` disables checkpointing).
         checkpoint_every: Snapshot cadence in completed rounds.
@@ -59,6 +66,7 @@ class DeploymentSpec:
     seed: int = 2017
     train_seed: int | None = None
     workers: int = 1
+    executor: str | None = None
     checkpoint_dir: str | None = None
     checkpoint_every: int = 1
     resume: bool = False
@@ -73,6 +81,21 @@ class DeploymentSpec:
         )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.executor is not None:
+            # Same fail-fast contract as the policy name: an unknown
+            # backend (or an impossible backend/workers pairing) must
+            # surface at spec construction, not after training.
+            validate_executor_name(self.executor)
+            if self.executor == "serial" and self.workers > 1:
+                raise ValueError(
+                    "serial backend runs in-process; workers must be 1, "
+                    f"got {self.workers}"
+                )
+            if self.executor in ("pool", "shm") and self.workers < 2:
+                raise ValueError(
+                    f"{self.executor!r} backend needs workers >= 2, "
+                    f"got {self.workers}"
+                )
         if self.checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
@@ -108,7 +131,7 @@ class DeploymentSpec:
         return DeploymentEngine(
             context,
             seed=self.seed,
-            executor=make_executor(self.workers),
+            executor=make_executor(self.workers, backend=self.executor),
             timing=timing,
             telemetry=telemetry,
         )
@@ -126,15 +149,22 @@ class DeploymentSpec:
         the hook tests and the CLI use it to attach a ``crash_after``
         crash-injection config.
         """
+        owns_engine = engine is None
         if engine is None:
             engine = self.build_engine(config=config, telemetry=telemetry)
         if checkpointer is None:
             checkpointer = self.make_checkpointer()
-        return engine.run(
-            self.policy,
-            budget=self.budget,
-            assignment=dict(self.assignment) if self.assignment else None,
-            start=self.start,
-            end=self.end,
-            checkpointer=checkpointer,
-        )
+        try:
+            return engine.run(
+                self.policy,
+                budget=self.budget,
+                assignment=dict(self.assignment) if self.assignment else None,
+                start=self.start,
+                end=self.end,
+                checkpointer=checkpointer,
+            )
+        finally:
+            if owns_engine:
+                # A spec-built engine owns its executor backend; close
+                # it so pools and shared segments never outlive the run.
+                engine.close()

@@ -48,13 +48,18 @@ class ObjectGroup:
         """Eq. (6) over the group's calibrated probabilities; raw
         detections without a calibrated probability contribute their
         clamped score as a fallback."""
-        probs = []
+        if not self.detections:
+            return 0.0
+        # Inline Eq. (6): the clamped probabilities cannot fail
+        # fuse_probabilities' range check, and a sequential product
+        # over Python floats computes np.prod's result bit for bit.
+        remainder = 1.0
         for det in self.detections:
             p = det.probability
-            if np.isnan(p):
-                p = float(np.clip(det.score, 0.0, 1.0))
-            probs.append(float(np.clip(p, 0.0, 1.0)))
-        return fuse_probabilities(probs)
+            if p != p:  # NaN check without an isnan ufunc call
+                p = min(1.0, max(0.0, det.score))
+            remainder *= 1.0 - min(1.0, max(0.0, p))
+        return 1.0 - remainder
 
     @property
     def truth_ids(self) -> set[int]:
@@ -70,12 +75,25 @@ class ObjectGroup:
 
     @property
     def majority_truth_id(self) -> int | None:
-        """Most common ground-truth id among members (evaluation only)."""
-        ids = [d.truth_id for d in self.detections if d.truth_id is not None]
-        if not ids:
+        """Most common ground-truth id among members (evaluation only).
+
+        Ties break towards the smallest id — the same winner
+        ``np.unique`` (sorted values) + ``argmax`` (first maximum)
+        picked before this was scalarised off the per-frame path.
+        """
+        counts: dict[int, int] = {}
+        for det in self.detections:
+            if det.truth_id is not None:
+                counts[det.truth_id] = counts.get(det.truth_id, 0) + 1
+        if not counts:
             return None
-        values, counts = np.unique(ids, return_counts=True)
-        return int(values[np.argmax(counts)])
+        best_id = -1
+        best_count = 0
+        for truth_id in sorted(counts):
+            if counts[truth_id] > best_count:
+                best_id = truth_id
+                best_count = counts[truth_id]
+        return int(best_id)
 
     def add(self, detection: Detection) -> None:
         self.detections.append(detection)

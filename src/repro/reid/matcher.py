@@ -12,6 +12,8 @@ imperfect homography matching").
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.detection.base import Detection
@@ -56,6 +58,111 @@ class CrossCameraMatcher:
         self.color_metric = color_metric
         self.color_threshold = color_threshold
         self.use_color = use_color and color_metric is not None
+        # Selection re-groups the same assessment detections under many
+        # candidate assignments, so the per-detection projection and
+        # per-pair colour distance are memoised.  The cached values are
+        # the unmemoised scalars, computed once — grouping stays
+        # bit-identical.  Values keep a strong reference to their
+        # detections so the id() keys cannot be recycled.
+        self._point_cache: dict[int, tuple[Detection, np.ndarray]] = {}
+        self._color_cache: dict[
+            tuple[int, int], tuple[Detection, Detection, float]
+        ] = {}
+        self._reduced_cache: dict[int, tuple[Detection, np.ndarray]] = {}
+        self._cache_limit = 200_000
+
+    def clear_caches(self) -> None:
+        """Drop memoised projections and colour distances."""
+        self._point_cache.clear()
+        self._color_cache.clear()
+        self._reduced_cache.clear()
+
+    def _cached_point(self, detection: Detection) -> np.ndarray:
+        key = id(detection)
+        hit = self._point_cache.get(key)
+        if hit is not None:
+            return hit[1]
+        if len(self._point_cache) >= self._cache_limit:
+            self._point_cache.clear()
+        # Single-point fast path: the 3-vector product computes the
+        # same values as ground_point()'s apply_homography call without
+        # its batching scaffolding (verified bit-identical).
+        try:
+            homography = self.image_to_ground[detection.camera_id]
+        except KeyError:
+            raise KeyError(
+                f"no ground homography for camera {detection.camera_id!r}"
+            ) from None
+        x, y = detection.bbox.bottom_center
+        projected = homography.matrix @ np.array([x, y, 1.0])
+        point = projected[:2] / projected[2]
+        self._point_cache[key] = (detection, point)
+        return point
+
+    def _reduced_feature(self, detection: Detection) -> np.ndarray:
+        """The detection's PCA-reduced colour feature, memoised.
+
+        ``MahalanobisMetric.distance`` re-reduces both endpoints on
+        every call; caching the reduction per detection leaves exactly
+        the per-pair ``sqrt(diff @ P @ diff)`` — the same operations
+        on the same values, computed once per detection instead of
+        once per pair.
+        """
+        key = id(detection)
+        hit = self._reduced_cache.get(key)
+        if hit is not None:
+            return hit[1]
+        if len(self._reduced_cache) >= self._cache_limit:
+            self._reduced_cache.clear()
+        reduced = self.color_metric._reduce(detection.color_feature)
+        self._reduced_cache[key] = (detection, reduced)
+        return reduced
+
+    def _color_distance(self, a: Detection, b: Detection) -> float:
+        """`MahalanobisMetric.distance` with the reductions memoised;
+        the remaining arithmetic is the metric's own, verbatim."""
+        diff = self._reduced_feature(a) - self._reduced_feature(b)
+        value = float(diff @ self.color_metric._precision @ diff)
+        return float(np.sqrt(max(0.0, value)))
+
+    def _cached_color_distance(self, a: Detection, b: Detection) -> float:
+        key = (id(a), id(b)) if id(a) <= id(b) else (id(b), id(a))
+        hit = self._color_cache.get(key)
+        if hit is not None:
+            return hit[2]
+        if len(self._color_cache) >= self._cache_limit:
+            self._color_cache.clear()
+        dist = self._color_distance(a, b)
+        self._color_cache[key] = (a, b, dist)
+        return dist
+
+    def _color_compatible_cached(
+        self, detection: Detection, members: list[Detection]
+    ) -> bool:
+        """`_color_compatible` with the cache lookups inlined — the
+        grouping scan calls this tens of thousands of times per
+        selection, so attribute and call overhead matter."""
+        cache = self._color_cache
+        threshold = self.color_threshold
+        det_id = id(detection)
+        for member in members:
+            member_id = id(member)
+            key = (
+                (det_id, member_id)
+                if det_id <= member_id
+                else (member_id, det_id)
+            )
+            hit = cache.get(key)
+            if hit is None:
+                if len(cache) >= self._cache_limit:
+                    cache.clear()
+                dist = self._color_distance(detection, member)
+                cache[key] = (detection, member, dist)
+            else:
+                dist = hit[2]
+            if dist > threshold:
+                return False
+        return True
 
     def ground_point(self, detection: Detection) -> np.ndarray:
         """Project a detection's bottom-centre to world coordinates."""
@@ -73,9 +180,7 @@ class CrossCameraMatcher:
         if not self.use_color:
             return True
         for member in group.detections:
-            dist = self.color_metric.distance(
-                detection.color_feature, member.color_feature
-            )
+            dist = self._cached_color_distance(detection, member)
             if dist > self.color_threshold:
                 return False
         return True
@@ -87,7 +192,80 @@ class CrossCameraMatcher:
         joins the nearest group within the gating radius whose members
         come from other cameras and whose colours agree, otherwise it
         starts a new group.
+
+        This is a scalar restatement of :meth:`group_reference` with
+        the numpy overhead stripped from the inner scan: distances and
+        centroid updates run on plain Python floats, which execute the
+        same IEEE-double operations as the reference's elementwise
+        numpy expressions.  The one numerical difference is the gating
+        distance itself — ``math.sqrt(dx*dx + dy*dy)`` instead of the
+        reference's BLAS-backed ``np.linalg.norm`` — so membership can
+        differ from the reference only when a distance sits within one
+        ulp of the radius or of a competing group's distance.
         """
+        groups: list[ObjectGroup] = []
+        group_cameras: list[set[str]] = []
+        centroids: list[tuple[float, float]] = []
+        counts: list[int] = []
+        radius = self.ground_radius
+        use_color = self.use_color
+        for det in sorted(detections, key=lambda d: -d.score):
+            point = self._cached_point(det)
+            px, py = float(point[0]), float(point[1])
+            camera = det.camera_id
+            # The reference scan accepts strictly-improving distances,
+            # so colour-rejected groups never update the best: the
+            # winner is the colour-compatible eligible group of
+            # minimal (distance, index).  Sorting the gated candidates
+            # and taking the first colour pass computes the same
+            # winner with the fewest colour checks.
+            candidates: list[tuple[float, int]] = []
+            for idx in range(len(groups)):
+                if camera in group_cameras[idx]:
+                    continue
+                cx, cy = centroids[idx]
+                dx = px - cx
+                dy = py - cy
+                dist = math.sqrt(dx * dx + dy * dy)
+                if dist < radius:
+                    candidates.append((dist, idx))
+            candidates.sort()
+            best_group = None
+            for _, idx in candidates:
+                if not use_color or self._color_compatible_cached(
+                    det, groups[idx].detections
+                ):
+                    best_group = idx
+                    break
+            if best_group is None:
+                groups.append(
+                    ObjectGroup(detections=[det], ground_point=(px, py))
+                )
+                group_cameras.append({camera})
+                centroids.append((px, py))
+                counts.append(1)
+            else:
+                group = groups[best_group]
+                count = counts[best_group]
+                group.add(det)
+                group_cameras[best_group].add(camera)
+                cx, cy = centroids[best_group]
+                # Running mean keeps the centroid stable as members join.
+                centroid = (
+                    (cx * count + px) / (count + 1),
+                    (cy * count + py) / (count + 1),
+                )
+                centroids[best_group] = centroid
+                counts[best_group] = count + 1
+                group.ground_point = centroid
+        return groups
+
+    def group_reference(
+        self, detections: list[Detection]
+    ) -> list[ObjectGroup]:
+        """The unmemoised clustering loop, kept verbatim as the pinned
+        oracle for equivalence tests and as the honest per-call
+        baseline for the scale benchmarks."""
         groups: list[ObjectGroup] = []
         centroids: list[np.ndarray] = []
         for det in sorted(detections, key=lambda d: -d.score):
@@ -98,7 +276,9 @@ class CrossCameraMatcher:
                 if det.camera_id in group.camera_ids:
                     continue
                 dist = float(np.linalg.norm(point - centroids[idx]))
-                if dist < best_dist and self._color_compatible(det, group):
+                if dist < best_dist and self._reference_color_compatible(
+                    det, group
+                ):
                     best_dist = dist
                     best_group = idx
             if best_group is None:
@@ -113,7 +293,6 @@ class CrossCameraMatcher:
                 group = groups[best_group]
                 count = len(group)
                 group.add(det)
-                # Running mean keeps the centroid stable as members join.
                 centroids[best_group] = (
                     centroids[best_group] * count + point
                 ) / (count + 1)
@@ -122,6 +301,19 @@ class CrossCameraMatcher:
                     float(centroids[best_group][1]),
                 )
         return groups
+
+    def _reference_color_compatible(
+        self, detection: Detection, group: ObjectGroup
+    ) -> bool:
+        if not self.use_color:
+            return True
+        for member in group.detections:
+            dist = self.color_metric.distance(
+                detection.color_feature, member.color_feature
+            )
+            if dist > self.color_threshold:
+                return False
+        return True
 
     def reid_precision(
         self, groups: list[ObjectGroup]

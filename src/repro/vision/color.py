@@ -47,6 +47,14 @@ def mean_color_feature(
     return feature
 
 
+def synthetic_color_base(shade: float) -> np.ndarray:
+    """The noise-free synthetic colour feature of a shade: body blocks
+    carry the clothing shade, the top row the lighter head band."""
+    feature = np.full(COLOR_FEATURE_DIM, shade)
+    feature[:_GRID_COLS] = min(1.0, shade + 0.25)
+    return feature
+
+
 def synthetic_color_feature(
     shade: float,
     rng: np.random.Generator,
@@ -55,11 +63,33 @@ def synthetic_color_feature(
     """Colour feature derived directly from a pedestrian's shade.
 
     Used on the fast path where detections are generated from object
-    views without re-cropping the rendered frame: the body blocks carry
-    the clothing shade, the top row the lighter head band, plus
-    per-view noise — the same structure :func:`mean_color_feature`
-    recovers from painted frames.
+    views without re-cropping the rendered frame: the same structure
+    :func:`mean_color_feature` recovers from painted frames, plus
+    per-view noise.
     """
-    feature = np.full(COLOR_FEATURE_DIM, shade)
-    feature[:_GRID_COLS] = min(1.0, shade + 0.25)
-    return np.clip(feature + rng.normal(scale=noise, size=COLOR_FEATURE_DIM), 0, 1)
+    # minimum(maximum(...)) is np.clip's own elementwise arithmetic
+    # without the dispatch overhead of the fromnumeric wrapper.
+    return np.minimum(
+        1.0,
+        np.maximum(
+            0.0,
+            synthetic_color_base(shade)
+            + rng.normal(scale=noise, size=COLOR_FEATURE_DIM),
+        ),
+    )
+
+
+def synthetic_color_from_gauss(
+    shade: float, gauss: np.ndarray, noise: float = 0.03
+) -> np.ndarray:
+    """:func:`synthetic_color_feature` from pre-drawn standard normals.
+
+    ``noise * gauss`` consumes exactly the values a
+    ``rng.normal(scale=noise, size=40)`` fill would draw, element for
+    element, so callers that batch their generator reads (one
+    ``standard_normal`` block per detection) reproduce the unbatched
+    feature bit for bit.
+    """
+    return np.minimum(
+        1.0, np.maximum(0.0, synthetic_color_base(shade) + noise * gauss)
+    )

@@ -89,7 +89,10 @@ def make_camera_ring(
     Cameras are mounted at the corners (then edge midpoints for more
     than four), looking at the region centre with a slight downward
     pitch — matching the overlapping four-camera geometry of the
-    evaluation datasets.
+    evaluation datasets.  Beyond eight, additional cameras fill an
+    ellipse around the region; the first eight placements are
+    independent of ``num_cameras``, so scaled-up rings extend the
+    standard geometry rather than replacing it.
     """
     if num_cameras < 1:
         raise ValueError("need at least one camera")
@@ -106,7 +109,17 @@ def make_camera_ring(
         (x_min - setback, cy),
     ]
     if num_cameras > len(corners):
-        raise ValueError(f"at most {len(corners)} cameras supported")
+        # Fleet-scale rings: spread the extra mounts over an ellipse
+        # circumscribing the setback rectangle, phase-offset so they
+        # interleave with the corner/midpoint cameras.
+        extra = num_cameras - len(corners)
+        rx = (x_max - x_min) / 2.0 + setback
+        ry = (y_max - y_min) / 2.0 + setback
+        for k in range(extra):
+            theta = 2.0 * math.pi * (k + 0.5) / extra
+            corners.append(
+                (cx + rx * math.cos(theta), cy + ry * math.sin(theta))
+            )
     if focal_px is None:
         focal_px = 0.9 * environment.width
 

@@ -143,9 +143,21 @@ class TestCameraRing:
         for cam in cams:
             assert cam.is_visible(center)
 
-    def test_rejects_too_many_cameras(self):
+    def test_rejects_zero_cameras(self):
         with pytest.raises(ValueError):
-            make_camera_ring(LAB, num_cameras=9)
+            make_camera_ring(LAB, num_cameras=0)
+
+    def test_scaled_ring_extends_standard_geometry(self):
+        """Rings beyond eight cameras keep the first eight placements
+        unchanged, so scaled-up datasets extend rather than replace
+        the evaluation geometry."""
+        base = make_camera_ring(LAB, num_cameras=8)
+        scaled = make_camera_ring(LAB, num_cameras=16)
+        assert len(scaled) == 16
+        for small, big in zip(base, scaled):
+            assert (small.pose.x, small.pose.y) == (big.pose.x, big.pose.y)
+        positions = {(c.pose.x, c.pose.y) for c in scaled}
+        assert len(positions) == 16
 
     def test_resolution_follows_environment(self):
         cams = make_camera_ring(CHAP, num_cameras=2)
