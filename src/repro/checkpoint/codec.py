@@ -19,7 +19,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.accuracy import DesiredAccuracy, GlobalAccuracy
-from repro.core.controller import EECSController, SelectionDecision
+from repro.core.controller import (
+    CAMERA_ACTIVE,
+    EECSController,
+    SelectionDecision,
+)
 
 
 # ----------------------------------------------------------------------
@@ -105,6 +109,7 @@ def controller_state_to_dict(controller: EECSController) -> dict:
             "consumed_joules": controller.camera(camera_id).battery.consumed,
             "alive": controller.camera(camera_id).alive,
             "matched_item": controller.camera(camera_id).matched_item,
+            "mode": controller.camera(camera_id).mode,
         }
         for camera_id in controller.camera_ids
     }
@@ -118,6 +123,11 @@ def restore_controller_state(
         camera.alive = bool(fields["alive"])
         camera.matched_item = fields["matched_item"]
         camera.battery.restore_consumed(float(fields["consumed_joules"]))
+        # Checkpoints written before the resilience layer carry no
+        # mode; they predate degradation, so every camera was active.
+        controller.set_camera_mode(
+            camera_id, fields.get("mode", CAMERA_ACTIVE)
+        )
 
 
 # ----------------------------------------------------------------------
@@ -142,6 +152,37 @@ def run_result_to_dict(result) -> dict:
         "frames_evaluated": result.frames_evaluated,
         "processing_seconds": result.processing_seconds,
         "decisions": [decision_to_dict(d) for d in result.decisions],
+    }
+
+
+def chaos_result_to_dict(result) -> dict:
+    """A :class:`~repro.experiments.faults.ChaosResult` as exact JSON
+    values (minus the spec it echoes back).
+
+    The chaos counterpart of :func:`run_result_to_dict`: the CLI's
+    ``chaos --result-out`` dump, byte-diffed by the resilience-smoke
+    CI job to pin quarantine-active kill-and-resume.
+    """
+    return {
+        "humans_detected": result.humans_detected,
+        "humans_present": result.humans_present,
+        "delivered_messages": result.delivered_messages,
+        "dropped_messages": result.dropped_messages,
+        "retransmissions": result.retransmissions,
+        "gave_up": result.gave_up,
+        "duplicates_dropped": result.duplicates_dropped,
+        "suppressed_sends": result.suppressed_sends,
+        "battery_by_camera": dict(sorted(result.battery_by_camera.items())),
+        "num_decisions": result.num_decisions,
+        "final_assignment": dict(sorted(result.final_assignment.items())),
+        "fault_events": [fault_event_to_dict(e) for e in result.fault_events],
+        "recovery_events": [
+            fault_event_to_dict(e) for e in result.recovery_events
+        ],
+        "simulated_s": result.simulated_s,
+        "corrupted_received": result.corrupted_received,
+        "breaker_blocked": result.breaker_blocked,
+        "camera_modes": dict(sorted(result.camera_modes.items())),
     }
 
 

@@ -107,6 +107,61 @@ def _add_checkpoint_flags(p: argparse.ArgumentParser, unit: str) -> None:
     )
 
 
+def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--resilience",
+        action="store_true",
+        help="enable the graceful-degradation layer: per-camera health "
+        "scoring, circuit breakers on camera links, and the staged "
+        "active -> degraded -> quarantined ladder with re-admission "
+        "probes (off by default; with no faults the layer is provably "
+        "inert)",
+    )
+    p.add_argument(
+        "--health-degrade",
+        type=float,
+        default=None,
+        metavar="H",
+        help="health below which a camera is downgraded to its "
+        "cheapest profile (default 0.65)",
+    )
+    p.add_argument(
+        "--health-quarantine",
+        type=float,
+        default=None,
+        metavar="H",
+        help="health below which a camera is quarantined out of "
+        "selection (default 0.35)",
+    )
+    p.add_argument(
+        "--health-readmit",
+        type=float,
+        default=None,
+        metavar="H",
+        help="health a degraded/quarantined camera must regain to be "
+        "readmitted (default 0.85)",
+    )
+
+
+def _make_resilience_config(args: argparse.Namespace):
+    """The ResilienceConfig the flags describe (None = layer off)."""
+    if not args.resilience:
+        for flag in ("health_degrade", "health_quarantine", "health_readmit"):
+            if getattr(args, flag) is not None:
+                raise SystemExit(
+                    f"--{flag.replace('_', '-')} requires --resilience"
+                )
+        return None
+    from repro.resilience import ResilienceConfig, config_with_thresholds
+
+    return config_with_thresholds(
+        ResilienceConfig(enabled=True, seed=args.seed),
+        degrade_below=args.health_degrade,
+        quarantine_below=args.health_quarantine,
+        readmit_above=args.health_readmit,
+    )
+
+
 def _make_checkpoint_config(args: argparse.Namespace):
     if not args.checkpoint_dir:
         if args.resume:
@@ -252,6 +307,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         train_seed=args.seed,
         workers=args.workers,
         executor=args.executor,
+        resilience=_make_resilience_config(args),
     )
     checkpoint_config = _make_checkpoint_config(args)
     checkpointer = (
@@ -316,6 +372,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     runner = DeploymentEngine(
         shared_context(args.dataset, train_seed=args.seed)
     )
+    resilience = _make_resilience_config(args)
     spec = ChaosSpec(
         dataset_number=args.dataset,
         loss_rate=args.loss_rate,
@@ -323,6 +380,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         num_frames=args.frames,
         budget=args.budget,
+        fault_camera_count=args.fault_cameras,
+        sensor_noise=args.sensor_noise,
+        sensor_fp_rate=args.sensor_fp_rate,
+        stuck=args.stuck,
+        score_drift_per_s=args.score_drift,
+        clock_skew=args.clock_skew,
+        corruption_rate=args.corruption_rate,
+        resilience=resilience,
     )
     plan = FaultPlan.load(args.fault_plan) if args.fault_plan else None
     telemetry = _make_telemetry(args)
@@ -358,6 +423,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.result_out:
+        from repro.checkpoint.codec import chaos_result_to_dict
+        from repro.ioutils import atomic_write_json
+
+        atomic_write_json(args.result_out, chaos_result_to_dict(result))
+        print(f"wrote chaos result to {args.result_out}")
     print(f"zero-fault:      {baseline.humans_detected}/"
           f"{baseline.humans_present} detected "
           f"(rate {baseline.detection_rate:.3f})")
@@ -374,6 +445,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
           f"(zero-fault {baseline.total_radio_joules:.2f} J)")
     print(f"selections:      {result.num_decisions} "
           f"(final assignment {result.final_assignment})")
+    if result.corrupted_received or result.breaker_blocked:
+        print(f"resilience:      {result.corrupted_received} corrupted "
+              f"payloads discarded, {result.breaker_blocked} sends "
+              f"blocked by open breakers")
+    if result.camera_modes:
+        modes = ", ".join(
+            f"{camera}:{mode}"
+            for camera, mode in sorted(result.camera_modes.items())
+        )
+        print(f"camera modes:    {modes}")
     if result.fault_events or result.recovery_events:
         print("events:")
         timeline = sorted(
@@ -537,6 +618,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump the RunResult as exact JSON (two bit-identical runs "
         "produce byte-identical files)",
     )
+    _add_resilience_flags(p)
     _add_checkpoint_flags(p, unit="round")
     _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_run)
@@ -566,6 +648,62 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--frames", type=int, default=18)
     p.add_argument("--budget", type=float, default=2.0)
+    p.add_argument(
+        "--fault-cameras",
+        type=int,
+        default=1,
+        help="how many cameras (in id order) the sensor-level faults "
+        "below target",
+    )
+    p.add_argument(
+        "--sensor-noise",
+        type=float,
+        default=0.0,
+        help="per-detection suppression probability during the fault "
+        "window (a noisy sensor loses real detections)",
+    )
+    p.add_argument(
+        "--sensor-fp-rate",
+        type=float,
+        default=0.0,
+        help="Poisson rate of fabricated detections per message during "
+        "the fault window",
+    )
+    p.add_argument(
+        "--stuck",
+        action="store_true",
+        help="freeze the targeted sensors on their last healthy frame "
+        "during the fault window",
+    )
+    p.add_argument(
+        "--score-drift",
+        type=float,
+        default=0.0,
+        metavar="D",
+        help="calibration drift applied to detection scores "
+        "(score units per simulated second)",
+    )
+    p.add_argument(
+        "--clock-skew",
+        type=float,
+        default=0.0,
+        help="fractional local-clock skew on the targeted cameras "
+        "(0.5 = their intervals run 50%% slow)",
+    )
+    p.add_argument(
+        "--corruption-rate",
+        type=float,
+        default=0.0,
+        help="probability a delivered message from a targeted camera "
+        "arrives garbled (discarded unacked by the receiver)",
+    )
+    p.add_argument(
+        "--result-out",
+        default=None,
+        help="dump the ChaosResult as exact JSON (two bit-identical "
+        "runs produce byte-identical files)",
+    )
+    _add_resilience_flags(p)
     _add_checkpoint_flags(p, unit="frame tick")
     _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_chaos)

@@ -31,6 +31,16 @@ from repro.energy.communication import CommunicationEnergyModel
 from repro.energy.model import ProcessingEnergyModel
 from repro.reid.matcher import CrossCameraMatcher
 
+#: Degradation-ladder modes for a registered camera.  ``active``
+#: cameras compete normally for selection; ``degraded`` cameras are
+#: pinned to their cheapest affordable detector profile; ``quarantined``
+#: cameras are excluded from selection entirely (like dead ones) until
+#: a re-admission probe clears them.
+CAMERA_ACTIVE = "active"
+CAMERA_DEGRADED = "degraded"
+CAMERA_QUARANTINED = "quarantined"
+CAMERA_MODES = (CAMERA_ACTIVE, CAMERA_DEGRADED, CAMERA_QUARANTINED)
+
 
 @dataclass
 class CameraState:
@@ -38,7 +48,9 @@ class CameraState:
 
     ``alive`` is the controller's *belief* about the camera (driven by
     heartbeat liveness, not ground truth): dead cameras are excluded
-    from selection until they are heard from again.
+    from selection until they are heard from again.  ``mode`` is the
+    resilience ladder position (see :data:`CAMERA_MODES`); it stays
+    ``active`` unless a health coordinator moves it.
     """
 
     camera_id: str
@@ -48,6 +60,7 @@ class CameraState:
     matched_item: str | None = None
     match_similarity: float = float("nan")
     alive: bool = True
+    mode: str = CAMERA_ACTIVE
 
 
 @dataclass
@@ -140,6 +153,14 @@ class EECSController:
     def mark_camera_alive(self, camera_id: str) -> None:
         """Re-admit a camera to selection (it was heard from again)."""
         self.camera(camera_id).alive = True
+
+    def set_camera_mode(self, camera_id: str, mode: str) -> None:
+        """Move a camera along the degradation ladder."""
+        if mode not in CAMERA_MODES:
+            raise ValueError(
+                f"unknown camera mode {mode!r}; valid: {CAMERA_MODES}"
+            )
+        self.camera(camera_id).mode = mode
 
     def camera(self, camera_id: str) -> CameraState:
         try:
@@ -261,7 +282,8 @@ class EECSController:
         overrides = budget_overrides or {}
         plans = []
         for camera_id in self.camera_ids:
-            if not self._cameras[camera_id].alive:
+            state = self._cameras[camera_id]
+            if not state.alive or state.mode == CAMERA_QUARANTINED:
                 continue
             plan = self.camera_plan(camera_id, overrides.get(camera_id))
             if plan is None:
@@ -270,14 +292,32 @@ class EECSController:
             # actually have assessment metadata for this camera; a
             # profile without data cannot be evaluated or deployed.
             available = set(assessment.algorithms_for(camera_id))
-            if plan.best_algorithm not in available:
-                candidates = [
-                    p
-                    for p in plan.item.profiles.values()
-                    if p.algorithm in available
-                    and p.energy_per_frame + plan.communication_cost
-                    <= plan.budget
-                ]
+            candidates = [
+                p
+                for p in plan.item.profiles.values()
+                if p.algorithm in available
+                and p.energy_per_frame + plan.communication_cost
+                <= plan.budget
+            ]
+            if state.mode == CAMERA_DEGRADED:
+                # A degraded camera is pinned to its cheapest affordable
+                # profile: it still contributes coverage but stops
+                # burning energy on detections its health says are
+                # suspect.
+                if not candidates:
+                    continue
+                cheapest = min(
+                    candidates,
+                    key=lambda p: (p.energy_per_frame, p.algorithm),
+                )
+                plan = CameraPlan(
+                    camera_id=plan.camera_id,
+                    item=plan.item,
+                    best_algorithm=cheapest.algorithm,
+                    budget=plan.budget,
+                    communication_cost=plan.communication_cost,
+                )
+            elif plan.best_algorithm not in available:
                 if not candidates:
                     continue
                 plan = CameraPlan(

@@ -186,6 +186,7 @@ class SimulationRunner:
         start: int | None = None,
         end: int | None = None,
         workers: int | None = None,
+        resilience=None,
     ) -> RunResult:
         """Simulate a deployment over the dataset's test segment.
 
@@ -201,6 +202,11 @@ class SimulationRunner:
             workers: Override the runner's worker count for this run.
                 Any value yields identical results; ``> 1`` fans
                 detection work over a process pool.
+            resilience: Optional
+                :class:`~repro.resilience.ladder.ResilienceConfig`;
+                the graceful-degradation layer is inert on the ideal
+                feed (no faults can occur), so results are identical
+                with or without it.
         """
         return self._engine.run(
             mode,
@@ -209,6 +215,7 @@ class SimulationRunner:
             start=start,
             end=end,
             workers=self.workers if workers is None else workers,
+            resilience=resilience,
         )
 
     def _task_entropy(

@@ -50,7 +50,11 @@ from repro.checkpoint.codec import (
     rng_state_to_dict,
 )
 from repro.core.config import EECSConfig
-from repro.core.controller import EECSController, SelectionDecision
+from repro.core.controller import (
+    CAMERA_ACTIVE,
+    EECSController,
+    SelectionDecision,
+)
 from repro.core.selection import AssessmentData
 from repro.datasets.base import FrameRecord
 from repro.datasets.groundtruth import persons_in_any_view
@@ -63,7 +67,13 @@ from repro.engine.clock import SimulationClock
 from repro.engine.context import DeploymentContext
 from repro.engine.executor import DetectionExecutor, make_executor
 from repro.engine.policy import CoordinationPolicy, resolve_policy
+from repro.faults.events import FaultLog
 from repro.perf.timing import TimingReport
+from repro.resilience.ladder import (
+    ResilienceConfig,
+    ResilienceCoordinator,
+    build_coordinator,
+)
 from repro.telemetry.trace import TracingTimingReport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -159,6 +169,9 @@ class DeploymentEngine:
         self.executor = executor or make_executor(1)
         self._active_executor = self.executor
         self._latency_seconds = 0.0
+        # Per-run resilience coordinator (None = layer off, the inert
+        # default); assigned at run start, cleared when the run ends.
+        self._resilience: ResilienceCoordinator | None = None
 
         self.controller = self.build_controller(
             telemetry=telemetry,
@@ -301,6 +314,15 @@ class DeploymentEngine:
             requests, results
         ):
             self.controller.calibrate_probabilities(camera_id, detections)
+            if self._resilience is not None:
+                # Same stream the networked controller scores from its
+                # metadata messages; pure bookkeeping, no rng.
+                self._resilience.monitor.observe_detections(
+                    camera_id,
+                    algorithm,
+                    record.frame_index,
+                    [det.score for det in detections],
+                )
             if self.telemetry is not None:
                 # Recorded here, in the serial accounting loop, so the
                 # counters are identical for any executor backend.
@@ -502,6 +524,7 @@ class DeploymentEngine:
         end: int | None = None,
         workers: int | None = None,
         checkpointer: "RunCheckpointer | None" = None,
+        resilience: ResilienceConfig | None = None,
     ) -> RunResult:
         """Simulate a deployment over the dataset's test segment.
 
@@ -527,6 +550,16 @@ class DeploymentEngine:
                 is deliberately absent from the checkpoint
                 fingerprint: any backend reproduces the serial run, so
                 a deployment may resume with a different worker count.
+            resilience: Graceful-degradation layer configuration
+                (``None`` or ``enabled=False`` keeps the layer off).
+                The ideal feed has no radio and no fault source, so
+                the monitor only ever sees the clean detection stream:
+                health stays at 1.0, every camera stays active, and
+                the run is bit-identical to a resilience-off run — the
+                layer's inertness guarantee.  Mode transitions, were
+                the thresholds tightened enough to force them, apply
+                to the controller exactly as in the networked
+                environment.
         """
         policy = resolve_policy(policy)
         policy.validate(assignment)
@@ -570,6 +603,14 @@ class DeploymentEngine:
             else None
         )
 
+        self._resilience = build_coordinator(
+            resilience, list(self.dataset.camera_ids), fault_log=FaultLog()
+        )
+        # Every run starts with a fully admitted fleet; a prior run's
+        # ladder decisions must not leak through the shared controller.
+        for camera_id in self.dataset.camera_ids:
+            self.controller.set_camera_mode(camera_id, CAMERA_ACTIVE)
+
         first_round = 0
         if checkpointer is not None:
             resume_state = checkpointer.begin(
@@ -584,6 +625,10 @@ class DeploymentEngine:
                     "assignment": assignment,
                     "num_rounds": len(rounds),
                     "cameras": list(self.dataset.camera_ids),
+                    "resilience": (
+                        resilience.to_dict() if resilience is not None
+                        else None
+                    ),
                 },
             )
             if resume_state is not None:
@@ -626,6 +671,15 @@ class DeploymentEngine:
                 detected_total += detected
                 present_total += present
                 probabilities.extend(probs)
+                if self._resilience is not None:
+                    # Round boundary = this path's liveness tick: walk
+                    # the ladder and mirror transitions into selection.
+                    for transition in self._resilience.evaluate(
+                        self.clock.now_s
+                    ):
+                        self.controller.set_camera_mode(
+                            transition.camera_id, transition.new_mode
+                        )
                 if checkpointer is not None:
                     checkpointer.unit_complete(
                         round_index,
@@ -647,6 +701,7 @@ class DeploymentEngine:
             if run_executor is not None:
                 run_executor.close()
                 self._active_executor = self.executor
+            self._resilience = None
 
         if self.telemetry is not None:
             self._record_run_metrics(
@@ -771,6 +826,8 @@ class DeploymentEngine:
             "decisions": [decision_to_dict(d) for d in decisions],
             "controller": controller_state_to_dict(self.controller),
         }
+        if self._resilience is not None:
+            state["resilience"] = self._resilience.snapshot()
         if self.telemetry is not None:
             state["metrics"] = self.telemetry.registry.snapshot()
         return state
@@ -790,6 +847,8 @@ class DeploymentEngine:
         meter.restore(state["meter"])
         self._latency_seconds = float(state["latency_seconds"])
         restore_controller_state(self.controller, state["controller"])
+        if self._resilience is not None and state.get("resilience"):
+            self._resilience.restore(state["resilience"])
         if self.telemetry is not None and state.get("metrics"):
             self.telemetry.registry.merge(state["metrics"])
         return (

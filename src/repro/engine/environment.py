@@ -39,6 +39,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.network.node import CameraSensorNode, ControllerNode
 from repro.network.simulator import EventSimulator
+from repro.resilience.ladder import ResilienceConfig, build_coordinator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.policy import CoordinationPolicy
@@ -99,6 +100,9 @@ class NetworkConditions:
         horizon_s: Simulated duration of the deployment.
         seed / loss_rate / crash_count: Provenance, recorded on the
             run span for traceability.
+        resilience: Graceful-degradation configuration; ``None`` (or
+            ``enabled=False``) deploys without the resilience layer —
+            the bit-identical legacy behavior.
     """
 
     plan: FaultPlan
@@ -114,6 +118,7 @@ class NetworkConditions:
     seed: int = 0
     loss_rate: float = 0.0
     crash_count: int = 0
+    resilience: ResilienceConfig | None = None
 
 
 @dataclass
@@ -138,6 +143,9 @@ class NetworkOutcome:
     fault_events: list[FaultEvent] = field(default_factory=list)
     recovery_events: list[RecoveryEvent] = field(default_factory=list)
     simulated_s: float = 0.0
+    corrupted_received: int = 0
+    breaker_blocked: int = 0
+    camera_modes: dict[str, str] = field(default_factory=dict)
 
 
 def _verify_chaos_replay(recorded: dict, sim, injector) -> None:
@@ -232,6 +240,11 @@ class FaultInjectedEnvironment(Environment):
         injector = FaultInjector(conditions.plan)
         if telemetry is not None:
             telemetry.attach_fault_log(injector.log)
+        coordinator = build_coordinator(
+            conditions.resilience,
+            dataset.camera_ids,
+            fault_log=injector.log,
+        )
         controller_node = ControllerNode(
             "controller",
             controller,
@@ -240,6 +253,7 @@ class FaultInjectedEnvironment(Environment):
             reliable=True,
             fault_log=injector.log,
             telemetry=telemetry,
+            resilience=coordinator,
         )
         sim.register_node(controller_node)
 
@@ -257,6 +271,7 @@ class FaultInjectedEnvironment(Environment):
                 energy_model=engine.energy_model,
                 reliable=True,
                 telemetry=telemetry,
+                fault_log=injector.log,
             )
             cameras[camera_id] = node
             sim.register_node(node)
@@ -315,6 +330,11 @@ class FaultInjectedEnvironment(Environment):
                     controller_node.operational_metadata
                 ),
             }
+            if coordinator is not None:
+                # Informational (resume is by seeded replay, which
+                # rebuilds this state; ladder transitions join the
+                # fault-event prefix verification above).
+                state["resilience"] = coordinator.snapshot()
             if telemetry is not None:
                 state["metrics"] = telemetry.registry.snapshot()
             return state
@@ -432,4 +452,12 @@ class FaultInjectedEnvironment(Environment):
             fault_events=list(injector.log.faults),
             recovery_events=list(injector.log.recoveries),
             simulated_s=sim.now,
+            corrupted_received=controller_node.corrupted_received
+            + sum(c.corrupted_received for c in cameras.values()),
+            breaker_blocked=sum(
+                t.breaker_blocked for t in transports if t is not None
+            ),
+            camera_modes=(
+                dict(coordinator.modes) if coordinator is not None else {}
+            ),
         )

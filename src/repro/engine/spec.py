@@ -24,6 +24,7 @@ from repro.engine.core import DeploymentEngine, RunResult
 from repro.engine.executor import make_executor, validate_executor_name
 from repro.engine.policy import resolve_policy
 from repro.perf.timing import TimingReport
+from repro.resilience.ladder import ResilienceConfig
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,11 @@ class DeploymentSpec:
         checkpoint_every: Snapshot cadence in completed rounds.
         resume: Restore from ``checkpoint_dir``'s snapshot instead of
             starting fresh (no snapshot on disk = fresh start).
+        resilience: Graceful-degradation layer configuration; ``None``
+            (or ``enabled=False``) keeps the layer off.  On the ideal
+            feed the layer is provably inert — results are identical
+            either way — but enabling it here keeps one spec valid for
+            both execution environments.
     """
 
     dataset_number: int
@@ -70,6 +76,7 @@ class DeploymentSpec:
     checkpoint_dir: str | None = None
     checkpoint_every: int = 1
     resume: bool = False
+    resilience: ResilienceConfig | None = None
 
     def __post_init__(self) -> None:
         # Fail fast: resolve_policy raises the "valid policies are ..."
@@ -102,6 +109,13 @@ class DeploymentSpec:
             )
         if self.resume and self.checkpoint_dir is None:
             raise ValueError("resume requires checkpoint_dir")
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResilienceConfig
+        ):
+            raise TypeError(
+                "resilience must be a ResilienceConfig, got "
+                f"{type(self.resilience).__name__}"
+            )
 
     def make_checkpointer(self) -> RunCheckpointer | None:
         """The checkpoint driver this spec asks for (``None`` = off)."""
@@ -162,6 +176,7 @@ class DeploymentSpec:
                 start=self.start,
                 end=self.end,
                 checkpointer=checkpointer,
+                resilience=self.resilience,
             )
         finally:
             if owns_engine:

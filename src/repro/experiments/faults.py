@@ -36,7 +36,15 @@ from repro.engine.environment import (
     NetworkConditions,
 )
 from repro.faults.events import FaultEvent, RecoveryEvent
-from repro.faults.plan import Crash, FaultPlan
+from repro.faults.plan import (
+    CalibrationDrift,
+    ClockSkew,
+    Crash,
+    FaultPlan,
+    MessageCorruption,
+    SensorFault,
+)
+from repro.resilience.ladder import ResilienceConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.checkpoint.hooks import CheckpointConfig
@@ -68,6 +76,25 @@ class ChaosSpec:
         reboot_s: Optional reboot time for the crashed cameras.
         assessment_timeout_s: Deadline for closing an assessment round
             on partial data.
+        fault_camera_count: How many cameras (in camera-id order) the
+            data-plane faults below target.
+        sensor_noise: Per-detection suppression probability during the
+            fault window (a noisy sensor loses real detections).
+        sensor_fp_rate: Poisson rate of fabricated detections per
+            message during the fault window.
+        stuck: Freeze the targeted sensors on their last healthy frame
+            during the window.
+        score_drift_per_s: Calibration drift applied to detection
+            scores (units of score per simulated second).
+        clock_skew: Fractional local-clock skew (0.5 = intervals run
+            50% slow) on the targeted cameras.
+        corruption_rate: Probability a delivered message from a
+            targeted camera arrives garbled.
+        fault_start_s: Data-plane fault window start (``None`` = one
+            third into the horizon, after the first assignment).
+        fault_end_s: Data-plane fault window end (``None`` = horizon).
+        resilience: Deploy with the graceful-degradation layer
+            (health monitoring, circuit breakers, staged quarantine).
     """
 
     dataset_number: int = 1
@@ -84,6 +111,16 @@ class ChaosSpec:
     crash_at_s: float | None = None
     reboot_s: float | None = None
     assessment_timeout_s: float = 5.0
+    fault_camera_count: int = 1
+    sensor_noise: float = 0.0
+    sensor_fp_rate: float = 0.0
+    stuck: bool = False
+    score_drift_per_s: float = 0.0
+    clock_skew: float = 0.0
+    corruption_rate: float = 0.0
+    fault_start_s: float | None = None
+    fault_end_s: float | None = None
+    resilience: ResilienceConfig | None = None
 
     @property
     def horizon_s(self) -> float:
@@ -91,7 +128,9 @@ class ChaosSpec:
         return self.seconds_per_frame * (self.num_frames + 4)
 
     def build_plan(self, camera_ids: list[str]) -> FaultPlan:
-        """The default plan: uniform loss plus mid-run crashes."""
+        """The default plan: uniform loss, mid-run crashes, and any
+        configured data-plane faults on the first
+        ``fault_camera_count`` cameras."""
         plan = FaultPlan.uniform_loss(self.loss_rate, seed=self.seed)
         crash_at = (
             self.crash_at_s
@@ -102,7 +141,57 @@ class ChaosSpec:
             Crash(camera_id, at_s=crash_at, reboot_s=self.reboot_s)
             for camera_id in camera_ids[: self.crash_count]
         )
-        return plan.with_crashes(*crashes)
+        plan = plan.with_crashes(*crashes)
+
+        start = (
+            self.fault_start_s
+            if self.fault_start_s is not None
+            else self.horizon_s / 3.0
+        )
+        end = (
+            self.fault_end_s if self.fault_end_s is not None else self.horizon_s
+        )
+        data_faults = []
+        for camera_id in camera_ids[: self.fault_camera_count]:
+            if self.sensor_noise or self.sensor_fp_rate or self.stuck:
+                data_faults.append(
+                    SensorFault(
+                        node_id=camera_id,
+                        start_s=start,
+                        end_s=end,
+                        noise=self.sensor_noise,
+                        false_positive_rate=self.sensor_fp_rate,
+                        stuck=self.stuck,
+                    )
+                )
+            if self.score_drift_per_s:
+                data_faults.append(
+                    CalibrationDrift(
+                        node_id=camera_id,
+                        start_s=start,
+                        end_s=end,
+                        score_drift_per_s=self.score_drift_per_s,
+                    )
+                )
+            if self.clock_skew:
+                data_faults.append(
+                    ClockSkew(
+                        node_id=camera_id,
+                        skew=self.clock_skew,
+                        start_s=start,
+                        end_s=end,
+                    )
+                )
+            if self.corruption_rate:
+                data_faults.append(
+                    MessageCorruption(
+                        node_a=camera_id,
+                        rate=self.corruption_rate,
+                        start_s=start,
+                        end_s=end,
+                    )
+                )
+        return plan.with_data_faults(*data_faults)
 
     def to_conditions(
         self, camera_ids: list[str], plan: FaultPlan | None = None
@@ -122,6 +211,7 @@ class ChaosSpec:
             seed=self.seed,
             loss_rate=self.loss_rate,
             crash_count=self.crash_count,
+            resilience=self.resilience,
         )
 
 
@@ -144,6 +234,9 @@ class ChaosResult:
     fault_events: list[FaultEvent] = field(default_factory=list)
     recovery_events: list[RecoveryEvent] = field(default_factory=list)
     simulated_s: float = 0.0
+    corrupted_received: int = 0
+    breaker_blocked: int = 0
+    camera_modes: dict[str, str] = field(default_factory=dict)
 
     @property
     def detection_rate(self) -> float:

@@ -16,21 +16,29 @@ from repro.faults.events import FaultEvent, FaultLog, RecoveryEvent
 from repro.faults.injector import FaultInjector, SendVerdict
 from repro.faults.plan import (
     BatteryFault,
+    CalibrationDrift,
+    ClockSkew,
     Crash,
     FaultPlan,
     LinkFault,
+    MessageCorruption,
     Partition,
+    SensorFault,
 )
 
 __all__ = [
     "BatteryFault",
+    "CalibrationDrift",
+    "ClockSkew",
     "Crash",
     "FaultEvent",
     "FaultInjector",
     "FaultLog",
     "FaultPlan",
     "LinkFault",
+    "MessageCorruption",
     "Partition",
     "RecoveryEvent",
     "SendVerdict",
+    "SensorFault",
 ]

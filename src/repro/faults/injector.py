@@ -18,25 +18,33 @@ bit-identical to a simulator without an injector at all.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.faults.events import FaultLog
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultPlan, SensorFault
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.detection.base import Detection
     from repro.network.messages import Message
     from repro.network.simulator import EventSimulator
 
 
 @dataclass(frozen=True)
 class SendVerdict:
-    """The injector's ruling on one transmission."""
+    """The injector's ruling on one transmission.
+
+    ``corrupt`` means the message is delivered but arrives garbled:
+    the receiver's integrity check fails and it must discard the
+    payload without acknowledging it.
+    """
 
     drop: bool = False
     extra_latency_s: float = 0.0
+    corrupt: bool = False
 
 
 _CLEAN = SendVerdict()
@@ -52,7 +60,24 @@ class FaultInjector:
         )
         self.log = FaultLog()
         self.messages_lost = 0
+        self.messages_corrupted = 0
+        self.detections_suppressed = 0
+        self.detections_fabricated = 0
         self._sim: "EventSimulator | None" = None
+        #: Lazily created per-node data-plane rng streams.  Sensor
+        #: perturbation must not share the link-loss stream: a plan
+        #: that adds a sensor fault would otherwise shift every loss
+        #: draw and change which *packets* drop.
+        self._data_rngs: dict[str, np.random.Generator] = {}
+
+    def _data_rng(self, node_id: str) -> np.random.Generator:
+        rng = self._data_rngs.get(node_id)
+        if rng is None:
+            rng = np.random.default_rng(
+                (self.plan.seed, 0x5E2502, zlib.crc32(node_id.encode()))
+            )
+            self._data_rngs[node_id] = rng
+        return rng
 
     # ------------------------------------------------------------------
     # Attachment: schedule the deterministic part of the plan
@@ -87,6 +112,62 @@ class FaultInjector:
                 sim.schedule(
                     part.end_s - sim.now, lambda p=part: self._heal(p)
                 )
+        # Data-plane faults act through per-call hooks rather than
+        # scheduled state changes, but their window edges still belong
+        # in the event log so a chaos report shows when they ruled.
+        for window, kind, subject, detail in self._data_plane_windows():
+            start_s, end_s = window
+            sim.schedule(
+                start_s - sim.now,
+                lambda k=kind, s=subject, d=detail: self.log.fault(
+                    self._require_sim().now, k, s, d
+                ),
+            )
+            if end_s != float("inf"):
+                sim.schedule(
+                    end_s - sim.now,
+                    lambda k=kind, s=subject: self.log.recovery(
+                        self._require_sim().now, f"{k}_cleared", s
+                    ),
+                )
+
+    def _data_plane_windows(self):
+        for fault in self.plan.sensor_faults:
+            effects = []
+            if fault.stuck:
+                effects.append("stuck")
+            if fault.noise:
+                effects.append(f"noise={fault.noise:g}")
+            if fault.false_positive_rate:
+                effects.append(f"fp_rate={fault.false_positive_rate:g}")
+            yield (
+                (fault.start_s, fault.end_s),
+                "sensor_fault",
+                fault.node_id,
+                ", ".join(effects),
+            )
+        for drift in self.plan.calibration_drifts:
+            yield (
+                (drift.start_s, drift.end_s),
+                "calibration_drift",
+                drift.node_id,
+                f"score {drift.score_drift_per_s:g}/s, "
+                f"position {drift.position_drift_per_s:g}/s",
+            )
+        for skew in self.plan.clock_skews:
+            yield (
+                (skew.start_s, skew.end_s),
+                "clock_skew",
+                skew.node_id,
+                f"rate error {skew.skew:+g}",
+            )
+        for corr in self.plan.message_corruptions:
+            yield (
+                (corr.start_s, corr.end_s),
+                "message_corruption",
+                f"{corr.node_a}<->{corr.node_b}",
+                f"rate {corr.rate:g}",
+            )
 
     # ------------------------------------------------------------------
     # Scheduled fault callbacks
@@ -144,8 +225,8 @@ class FaultInjector:
         """Rule on one transmission at the current simulated time.
 
         Consumes one rng draw per *matching* link fault with a nonzero
-        loss rate — an empty or non-matching plan leaves the stream
-        untouched.
+        loss rate (plus one per matching corruption fault) — an empty
+        or non-matching plan leaves the stream untouched.
         """
         sim = self._require_sim()
         active = [
@@ -153,7 +234,12 @@ class FaultInjector:
             for f in self.plan.link_faults
             if f.matches(message.sender, message.recipient, sim.now)
         ]
-        if not active:
+        corrupting = [
+            c
+            for c in self.plan.message_corruptions
+            if c.matches(message.sender, message.recipient, sim.now)
+        ]
+        if not active and not corrupting:
             return _CLEAN
         drop = False
         extra = 0.0
@@ -161,9 +247,126 @@ class FaultInjector:
             extra += fault.extra_latency_s
             if fault.loss_rate > 0.0 and not drop:
                 drop = bool(self.rng.random() < fault.loss_rate)
+        corrupt = False
+        if not drop:
+            for fault in corrupting:
+                if not corrupt:
+                    corrupt = bool(self.rng.random() < fault.rate)
         if drop:
             self.messages_lost += 1
-        return SendVerdict(drop=drop, extra_latency_s=extra)
+        if corrupt:
+            self.messages_corrupted += 1
+        return SendVerdict(
+            drop=drop, extra_latency_s=extra, corrupt=corrupt
+        )
+
+    # ------------------------------------------------------------------
+    # Data-plane hooks (consulted by CameraSensorNode)
+    # ------------------------------------------------------------------
+    def sensor_fault_at(
+        self, node_id: str, time_s: float
+    ) -> SensorFault | None:
+        """The active sensor fault for a node, if any (no rng)."""
+        for fault in self.plan.sensor_faults:
+            if fault.active(node_id, time_s):
+                return fault
+        return None
+
+    def stuck_active(self, node_id: str, time_s: float) -> bool:
+        fault = self.sensor_fault_at(node_id, time_s)
+        return fault is not None and fault.stuck
+
+    def clock_scale(self, node_id: str, time_s: float) -> float:
+        """Multiplier for locally scheduled intervals (1.0 = healthy)."""
+        scale = 1.0
+        for skew in self.plan.clock_skews:
+            if skew.active(node_id, time_s):
+                scale *= 1.0 + skew.skew
+        return scale
+
+    def perturb_detections(
+        self,
+        node_id: str,
+        time_s: float,
+        detections: "list[Detection]",
+        threshold: float | None,
+    ) -> "list[Detection]":
+        """Apply active sensor noise and calibration drift to one
+        frame's detections.
+
+        Returns the input list *unchanged and undrawn-from* when no
+        data-plane fault matches, which is what keeps clean cameras
+        (and whole clean runs) bit-identical.  Perturbation draws come
+        from a per-node stream separate from the link-loss rng.
+        """
+        fault = self.sensor_fault_at(node_id, time_s)
+        drifts = [
+            d
+            for d in self.plan.calibration_drifts
+            if d.active(node_id, time_s)
+        ]
+        if fault is None and not drifts:
+            return detections
+
+        # Imported here, not at module top: the injector is imported by
+        # layers that never touch the detection stack.
+        from repro.detection.base import BoundingBox
+
+        out: "list[Detection]" = []
+        rng = self._data_rng(node_id)
+        cut = threshold if threshold is not None else -np.inf
+        score_offset = sum(d.score_offset(time_s) for d in drifts)
+        position_offset = sum(d.position_offset(time_s) for d in drifts)
+        for det in detections:
+            if (
+                fault is not None
+                and fault.noise > 0.0
+                and rng.random() < fault.noise
+            ):
+                self.detections_suppressed += 1
+                continue  # the corrupted frame missed this object
+            score = det.score + score_offset
+            if drifts and score < cut:
+                self.detections_suppressed += 1
+                continue  # drifted below the detector's own cut-off
+            if score_offset or position_offset:
+                bbox = det.bbox
+                if position_offset:
+                    bbox = BoundingBox(
+                        bbox.x + position_offset, bbox.y, bbox.w, bbox.h
+                    )
+                det = replace(det, score=score, bbox=bbox)
+            out.append(det)
+
+        if fault is not None and fault.false_positive_rate > 0.0 and out:
+            count = int(rng.poisson(fault.false_positive_rate))
+            anchors = rng.integers(0, len(out), size=count)
+            for anchor_index in anchors:
+                anchor = out[int(anchor_index)]
+                bbox = anchor.bbox
+                jitter = rng.normal(0.0, 0.35 * max(bbox.w, 1.0), size=2)
+                fp_box = BoundingBox(
+                    bbox.x + float(jitter[0]),
+                    max(0.0, bbox.y + float(jitter[1])),
+                    bbox.w,
+                    bbox.h,
+                )
+                # Fabricated junk masquerades as a confident hit: the
+                # score rides well above the anchor's, so it seeds
+                # cross-camera groups and inflates the camera's
+                # apparent assessment quality.
+                fp_score = anchor.score + 2.0 + float(rng.exponential(2.0))
+                out.append(
+                    replace(
+                        anchor,
+                        bbox=fp_box,
+                        score=fp_score,
+                        probability=float("nan"),
+                        truth_id=None,
+                    )
+                )
+                self.detections_fabricated += 1
+        return out
 
     def _require_sim(self) -> "EventSimulator":
         if self._sim is None:
@@ -176,6 +379,9 @@ class FaultInjector:
         records and a seeded replay must reproduce exactly."""
         return {
             "messages_lost": self.messages_lost,
+            "messages_corrupted": self.messages_corrupted,
+            "detections_suppressed": self.detections_suppressed,
+            "detections_fabricated": self.detections_fabricated,
             "faults_logged": len(self.log.faults),
             "recoveries_logged": len(self.log.recoveries),
         }

@@ -31,11 +31,17 @@ class Message:
         seq: Per-sender sequence number stamped by a reliable
             transport; ``UNSEQUENCED`` (-1) for fire-and-forget sends.
             The 64-byte header already accounts for it.
+        corrupted: Set by the simulator when a fault injector garbles
+            the payload in flight.  Receivers discard corrupted
+            messages without acking (a checksum failure looks like a
+            loss to the sender), but *observe* the corruption — it is
+            a health signal.
     """
 
     sender: str
     recipient: str
     seq: int = UNSEQUENCED
+    corrupted: bool = False
 
     @property
     def size_bytes(self) -> int:

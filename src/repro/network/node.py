@@ -28,12 +28,12 @@ the behaviour is identical to the fault-free protocol):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.controller import EECSController
+from repro.core.controller import CAMERA_QUARANTINED, EECSController
 from repro.core.selection import AssessmentData
 from repro.detection.base import Detection, Detector
 from repro.energy.battery import Battery
@@ -54,6 +54,8 @@ from repro.network.simulator import Node
 from repro.world.renderer import FrameObservation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+    from repro.resilience.ladder import ResilienceCoordinator
     from repro.telemetry.core import Telemetry
 
 
@@ -80,6 +82,7 @@ class CameraSensorNode(Node):
         rng: np.random.Generator | None = None,
         reliable: bool = False,
         telemetry: "Telemetry | None" = None,
+        fault_log: FaultLog | None = None,
     ) -> None:
         super().__init__(node_id)
         self.controller_id = controller_id
@@ -101,15 +104,24 @@ class CameraSensorNode(Node):
                 telemetry, node_id, clock=self._sim_now
             )
         self.transport = (
-            ReliableTransport(self, telemetry=telemetry)
+            ReliableTransport(self, telemetry=telemetry, fault_log=fault_log)
             if reliable
             else None
         )
         self.cursor = 0
         self.active_algorithm: str | None = None
+        #: True after the controller explicitly assigned ``None`` —
+        #: the camera idles but its frame cursor keeps pace.
+        self.standby = False
         self.frames_processed = 0
         self.alive = True
         self.suppressed_sends = 0
+        self.corrupted_received = 0
+        #: Last healthy (observation, detections) pair — what a stuck
+        #: sensor replays while its fault window is active.
+        self._stuck_cache: tuple[FrameObservation, list[Detection]] | None = (
+            None
+        )
         self._heartbeat_interval: float | None = None
         self._heartbeat_until: float | None = None
         self._operation_until: float | None = None
@@ -171,6 +183,62 @@ class CameraSensorNode(Node):
             self.node_id, algorithm, detections
         )
         return detections
+
+    def _injector(self) -> "FaultInjector | None":
+        sim = self.simulator
+        return sim.fault_injector if sim is not None else None
+
+    def _interval_scale(self) -> float:
+        """Clock-skew multiplier for locally scheduled intervals."""
+        injector = self._injector()
+        if injector is None:
+            return 1.0
+        return injector.clock_scale(self.node_id, self._sim_now())
+
+    def _charge_processing(self, algorithm: str) -> None:
+        drawn = self.battery.draw(
+            self.energy_model.energy_per_frame(algorithm)
+        )
+        if self.telemetry is not None:
+            from repro.energy.meter import EnergyMeter
+
+            self.telemetry.energy_counter().inc(
+                drawn, node=self.node_id, category=EnergyMeter.PROCESSING
+            )
+
+    def _sense(
+        self, observation: FrameObservation, algorithm: str
+    ) -> tuple[FrameObservation, list[Detection]]:
+        """Run the detector through the sensor-fault lens.
+
+        Returns the observation actually *sensed* plus its detections.
+        A stuck sensor replays its last healthy frame wholesale (the
+        pipeline still runs — and still drains the battery — but sees
+        a frozen frame, so scores and frame index repeat verbatim:
+        exactly the signature health scoring detects).  Otherwise the
+        detector output passes through the injector's noise /
+        fabrication / drift perturbations.  Without an injector, or
+        with no matching fault, this is exactly
+        :meth:`_run_algorithm`.
+        """
+        injector = self._injector()
+        if injector is None:
+            return observation, self._run_algorithm(observation, algorithm)
+        now = self._sim_now()
+        if (
+            injector.stuck_active(self.node_id, now)
+            and self._stuck_cache is not None
+        ):
+            frozen, cached = self._stuck_cache
+            self._charge_processing(algorithm)
+            return frozen, [
+                replace(det, algorithm=algorithm) for det in cached
+            ]
+        detections = self._run_algorithm(observation, algorithm)
+        self._stuck_cache = (observation, list(detections))
+        return observation, injector.perturb_detections(
+            self.node_id, now, detections, self.thresholds.get(algorithm)
+        )
 
     @property
     def is_operational(self) -> bool:
@@ -267,9 +335,14 @@ class CameraSensorNode(Node):
         ):
             return
         # self.send is a no-op while crashed/depleted; the schedule
-        # keeps ticking so a rebooted node resumes beaconing.
+        # keeps ticking so a rebooted node resumes beaconing.  A skewed
+        # local clock stretches (or shrinks) the interval — late
+        # beacons are exactly how the controller notices the skew.
         self._emit_heartbeat()
-        sim.schedule(self._heartbeat_interval, self._heartbeat_tick)
+        sim.schedule(
+            self._heartbeat_interval * self._interval_scale(),
+            self._heartbeat_tick,
+        )
 
     def start_operation(
         self, interval_s: float, until: float | None = None
@@ -295,7 +368,10 @@ class CameraSensorNode(Node):
         ):
             return
         self.process_next_frame()
-        sim.schedule(interval_s, lambda: self._operation_tick(interval_s))
+        sim.schedule(
+            interval_s * self._interval_scale(),
+            lambda: self._operation_tick(interval_s),
+        )
 
     # ------------------------------------------------------------------
     # Message handling
@@ -303,6 +379,11 @@ class CameraSensorNode(Node):
     def receive(self, message: Message) -> None:
         if not self.alive:
             return  # crashed hardware hears nothing
+        if message.corrupted:
+            # Checksum failure: discard without acking, so the sender
+            # retransmits exactly as if the packet had been lost.
+            self.corrupted_received += 1
+            return
         if isinstance(message, Ack):
             if self.transport is not None:
                 self.transport.handle_ack(message)
@@ -313,6 +394,7 @@ class CameraSensorNode(Node):
             self._handle_assessment(message)
         elif isinstance(message, AlgorithmAssignment):
             self.active_algorithm = message.algorithm
+            self.standby = message.algorithm is None
         else:
             raise TypeError(
                 f"camera {self.node_id!r} cannot handle {message.kind}"
@@ -328,12 +410,12 @@ class CameraSensorNode(Node):
             self.cursor += 1
             self.frames_processed += 1
             for algorithm in request.algorithms:
-                detections = self._run_algorithm(observation, algorithm)
+                sensed, detections = self._sense(observation, algorithm)
                 self._send(
                     DetectionMetadata(
                         sender=self.node_id,
                         recipient=self.controller_id,
-                        frame_index=observation.frame_index,
+                        frame_index=sensed.frame_index,
                         algorithm=algorithm,
                         detections=detections,
                     )
@@ -348,18 +430,26 @@ class CameraSensorNode(Node):
         if not self.is_operational:
             return False
         if self.active_algorithm is None:
+            # A camera explicitly told to stand by keeps pace with the
+            # live stream (the sensor keeps streaming; it just skips
+            # detection), so a later (re)activation starts at the
+            # *current* frame instead of replaying everything it
+            # ignored while idle.  Before the first assignment the
+            # cursor stays put — those frames belong to assessment.
+            if self.standby and self.cursor < len(self.observations):
+                self.cursor += 1
             return False
         if self.cursor >= len(self.observations):
             return False
         observation = self.observations[self.cursor]
         self.cursor += 1
         self.frames_processed += 1
-        detections = self._run_algorithm(observation, self.active_algorithm)
+        sensed, detections = self._sense(observation, self.active_algorithm)
         self._send(
             DetectionMetadata(
                 sender=self.node_id,
                 recipient=self.controller_id,
-                frame_index=observation.frame_index,
+                frame_index=sensed.frame_index,
                 algorithm=self.active_algorithm,
                 detections=detections,
             )
@@ -405,20 +495,34 @@ class ControllerNode(Node):
         reliable: bool = False,
         fault_log: FaultLog | None = None,
         telemetry: "Telemetry | None" = None,
+        resilience: "ResilienceCoordinator | None" = None,
     ) -> None:
         super().__init__(node_id)
         self.controller = controller
         self.assessment_frames = assessment_frames
         self.budget = budget
         self.telemetry = telemetry
+        self.fault_log = fault_log if fault_log is not None else FaultLog()
+        self.resilience = resilience
+        if resilience is not None:
+            if resilience.fault_log is None:
+                resilience.fault_log = self.fault_log
+            for camera_id in controller.camera_ids:
+                resilience.register(camera_id)
         self.transport = (
             ReliableTransport(
-                self, on_give_up=self._on_give_up, telemetry=telemetry
+                self,
+                on_give_up=self._on_give_up,
+                telemetry=telemetry,
+                fault_log=self.fault_log,
+                breaker_for=(
+                    resilience.breaker if resilience is not None else None
+                ),
             )
             if reliable
             else None
         )
-        self.fault_log = fault_log if fault_log is not None else FaultLog()
+        self.corrupted_received = 0
         self._round_span = None
         self._phase_span = None
         self._round_index = 0
@@ -469,6 +573,20 @@ class ControllerNode(Node):
             self._round_span = None
 
     def receive(self, message: Message) -> None:
+        if message.corrupted:
+            # Checksum failure: discard without acking (the sender
+            # retransmits as if lost) — but the garbled payload itself
+            # is a health signal about the sending camera.
+            self.corrupted_received += 1
+            self.fault_log.fault(
+                self._sim_now(),
+                "message_corrupted",
+                message.sender,
+                message.kind,
+            )
+            if self.resilience is not None:
+                self.resilience.monitor.observe_corruption(message.sender)
+            return
         if isinstance(message, Ack):
             if self.transport is not None:
                 self.transport.handle_ack(message)
@@ -526,6 +644,10 @@ class ControllerNode(Node):
         if self.simulator is not None:
             self.last_heartbeat[message.sender] = self.simulator.now
         self.energy_reports[message.sender] = message.residual_joules
+        if self.resilience is not None:
+            self.resilience.monitor.observe_heartbeat(
+                message.sender, self._sim_now(), message.residual_joules
+            )
         if message.sender in self.controller.camera_ids:
             state = self.controller.camera(message.sender)
             if not state.alive:
@@ -557,12 +679,75 @@ class ControllerNode(Node):
                     camera_id,
                     f"no heartbeat for {silent_for:.2f} s",
                 )
+            elif (
+                self.resilience is not None
+                and silent_for > self._liveness_interval
+            ):
+                # Late but not yet dead: a *weak* health signal (clock
+                # skew and transient loss both look like this).
+                self.resilience.monitor.observe_miss(camera_id)
         if newly_dead:
             for camera_id in newly_dead:
                 self._release_pending(camera_id)
             self._reselect(f"cameras died: {', '.join(newly_dead)}")
+        if self.resilience is not None:
+            self._apply_resilience(sim.now)
         if self._liveness_until is None or sim.now <= self._liveness_until:
             sim.schedule(self._liveness_interval, self._liveness_check)
+
+    # ------------------------------------------------------------------
+    # Resilience: degradation ladder, quarantine probes
+    # ------------------------------------------------------------------
+    def _apply_resilience(self, now: float) -> None:
+        """Advance the health ladder and act on its transitions."""
+        coordinator = self.resilience
+        transitions = coordinator.evaluate(now)
+        for transition in transitions:
+            self.controller.set_camera_mode(
+                transition.camera_id, transition.new_mode
+            )
+            if transition.new_mode == CAMERA_QUARANTINED:
+                # Stop waiting on a quarantined camera's assessment
+                # contribution — its data is suspect anyway.
+                self._release_pending(transition.camera_id)
+        for camera_id in coordinator.due_probes(now):
+            self._send_probe(camera_id, now)
+        if transitions:
+            moved = ", ".join(
+                f"{t.camera_id}->{t.new_mode}" for t in transitions
+            )
+            self._reselect(f"health transitions: {moved}")
+
+    def _cheapest_algorithm(self, camera_id: str) -> str | None:
+        state = self.controller.camera(camera_id)
+        if state.matched_item is None:
+            return None
+        item = self.controller.library.get(state.matched_item)
+        cheapest = min(
+            item.profiles.values(),
+            key=lambda p: (p.energy_per_frame, p.algorithm),
+        )
+        return cheapest.algorithm
+
+    def _send_probe(self, camera_id: str, now: float) -> None:
+        """Cheap re-admission probe: one frame, cheapest algorithm."""
+        state = self.controller.camera(camera_id)
+        if not state.alive:
+            return  # liveness owns dead cameras
+        algorithm = self._cheapest_algorithm(camera_id)
+        if algorithm is None:
+            return
+        self.fault_log.recovery(
+            now, "quarantine_probe", camera_id, algorithm
+        )
+        self._send(
+            AssessmentRequest(
+                sender=self.node_id,
+                recipient=camera_id,
+                num_frames=self.resilience.config.probe_frames,
+                algorithms=[algorithm],
+            )
+        )
 
     def _reselect(self, reason: str) -> None:
         """Re-run selection over surviving cameras on the last data."""
@@ -592,6 +777,8 @@ class ControllerNode(Node):
         self.fault_log.fault(
             now, "delivery_gave_up", message.recipient, message.kind
         )
+        if self.resilience is not None:
+            self.resilience.monitor.observe_give_up(message.recipient)
         if isinstance(message, AssessmentRequest):
             self._release_pending(message.recipient)
 
@@ -673,6 +860,15 @@ class ControllerNode(Node):
         self._finish_assessment()
 
     def _handle_metadata(self, message: DetectionMetadata) -> None:
+        if self.resilience is not None:
+            # Every metadata message — assessment, operational, or a
+            # quarantine probe reply — feeds the health baselines.
+            self.resilience.monitor.observe_detections(
+                message.sender,
+                message.algorithm,
+                message.frame_index,
+                [det.score for det in message.detections],
+            )
         if (
             self._collector is not None
             and message.sender in self._pending_cameras
@@ -687,6 +883,14 @@ class ControllerNode(Node):
             if not self._pending_cameras:
                 self._finish_assessment()
         else:
+            if (
+                self.resilience is not None
+                and self.resilience.mode(message.sender)
+                == CAMERA_QUARANTINED
+            ):
+                # Quarantined data informs health but never accuracy:
+                # probe replies stop here.
+                return
             self.operational_metadata.append(message)
 
     def _decide(self, assessment: AssessmentData):

@@ -30,7 +30,9 @@ import numpy as np
 from repro.network.messages import Ack, Message, UNSEQUENCED
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.events import FaultLog
     from repro.network.simulator import Node
+    from repro.resilience.breaker import CircuitBreaker
     from repro.telemetry.core import Telemetry
 
 
@@ -72,6 +74,8 @@ class ReliableTransport:
         rng: np.random.Generator | None = None,
         on_give_up: Callable[[Message], None] | None = None,
         telemetry: "Telemetry | None" = None,
+        fault_log: "FaultLog | None" = None,
+        breaker_for: "Callable[[str], CircuitBreaker | None] | None" = None,
     ) -> None:
         if timeout_s <= 0:
             raise ValueError("timeout must be positive")
@@ -91,11 +95,17 @@ class ReliableTransport:
             else np.random.default_rng(node_seed(node.node_id))
         )
         self.telemetry = telemetry
+        self.fault_log = fault_log
+        #: Optional per-recipient circuit-breaker lookup (the
+        #: resilience coordinator's breakers).  ``None`` — the default
+        #: — means every send is allowed, exactly the legacy behavior.
+        self.breaker_for = breaker_for
         self._next_seq = 0
         self._pending: dict[int, _Pending] = {}
         self._seen: dict[str, set[int]] = {}
         self.retransmissions = 0
         self.gave_up = 0
+        self.breaker_blocked = 0
         self.duplicates_dropped = 0
         self.acks_sent = 0
         #: True while this transport is re-sending a timed-out message
@@ -120,14 +130,33 @@ class ReliableTransport:
     def in_flight(self) -> int:
         return len(self._pending)
 
+    def _breaker(self, peer_id: str) -> "CircuitBreaker | None":
+        if self.breaker_for is None:
+            return None
+        return self.breaker_for(peer_id)
+
     def send(self, message: Message) -> int:
         """Stamp, transmit, and track a message until it is acked.
 
-        Returns the assigned sequence number.
+        Returns the assigned sequence number.  When a circuit breaker
+        guards the recipient's link and refuses the send, the message
+        is abandoned immediately — no radio energy, no retry ladder —
+        and the give-up callback fires as if the retries had been
+        exhausted.
         """
         seq = self._next_seq
         self._next_seq += 1
         message.seq = seq
+        breaker = self._breaker(message.recipient)
+        if breaker is not None and not breaker.allow(self._now()):
+            self.breaker_blocked += 1
+            self._count(
+                "network_breaker_blocked_total",
+                "Sends refused outright by an open circuit breaker.",
+            )
+            if self.on_give_up is not None:
+                self.on_give_up(message)
+            return seq
         self._pending[seq] = _Pending(message, first_sent_at=self._now())
         self.node.send(message)
         self._arm_timeout(seq)
@@ -156,8 +185,20 @@ class ReliableTransport:
                 "network_give_ups_total",
                 "Messages abandoned after exhausting their retry cap.",
             )
+            message = pending.message
+            if self.fault_log is not None:
+                self.fault_log.fault(
+                    self._now(),
+                    "transport_give_up",
+                    self.node.node_id,
+                    f"{message.kind} seq={seq} to {message.recipient} "
+                    f"after {pending.attempts + 1} attempts",
+                )
+            breaker = self._breaker(message.recipient)
+            if breaker is not None:
+                breaker.record_failure(self._now())
             if self.on_give_up is not None:
-                self.on_give_up(pending.message)
+                self.on_give_up(message)
             return
         pending.attempts += 1
         self.retransmissions += 1
@@ -177,6 +218,9 @@ class ReliableTransport:
         pending = self._pending.pop(ack.acked_seq, None)
         if pending is None:
             return False
+        breaker = self._breaker(ack.sender)
+        if breaker is not None:
+            breaker.record_success(self._now())
         if self.telemetry is not None:
             from repro.telemetry.core import ACK_LATENCY_BUCKETS
 

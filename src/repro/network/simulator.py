@@ -257,22 +257,27 @@ class EventSimulator:
 
         extra_latency = 0.0
         loss = False
+        corrupt = False
         if self.fault_injector is not None:
             verdict = self.fault_injector.on_send(message)
             loss = verdict.drop
             extra_latency = verdict.extra_latency_s
+            corrupt = verdict.corrupt
         if severed or loss:
             self._count_drop("link_severed" if severed else "link_loss")
             return
 
         latency = link.transfer_time(size) + extra_latency
 
-        def deliver() -> None:
+        def deliver(corrupt: bool = corrupt) -> None:
             if message.recipient in self._down_nodes:
                 self._count_drop("recipient_down")
                 return
             self.delivered_messages += 1
             self._count_delivery(message, latency)
+            # The verdict is captured per delivery: a retransmission of
+            # the same payload gets its own fresh ruling.
+            message.corrupted = corrupt
             recipient.receive(message)
 
         self.schedule(latency, deliver)

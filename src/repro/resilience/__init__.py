@@ -1,0 +1,42 @@
+"""Graceful degradation for camera sensor networks.
+
+This package sits between :mod:`repro.faults` (which *injects*
+partial failures) and :mod:`repro.engine` (which must keep detecting
+through them).  It provides:
+
+* :class:`~repro.resilience.health.HealthMonitor` — per-camera health
+  scores folded from controller-visible telemetry.
+* :class:`~repro.resilience.breaker.CircuitBreaker` — seeded,
+  jittered closed/open/half-open breakers on camera links.
+* :class:`~repro.resilience.ladder.ResilienceCoordinator` — the
+  staged ladder active → degraded → quarantined, with re-admission
+  probes and recalibration on recovery.
+
+Everything here is inert unless a :class:`ResilienceConfig` with
+``enabled=True`` is wired into a deployment: fault-free runs stay
+bit-identical to the goldens whether the layer is on or off.
+"""
+
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.health import HealthConfig, HealthMonitor
+from repro.resilience.ladder import (
+    ModeTransition,
+    ResilienceConfig,
+    ResilienceCoordinator,
+    build_coordinator,
+    config_with_thresholds,
+)
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "HealthConfig",
+    "HealthMonitor",
+    "ModeTransition",
+    "ResilienceConfig",
+    "ResilienceCoordinator",
+    "build_coordinator",
+    "config_with_thresholds",
+]

@@ -1,0 +1,151 @@
+"""Circuit breaker for camera links.
+
+A :class:`CircuitBreaker` guards one controller→camera link.  The
+stop-and-wait transport already retries each message with exponential
+backoff, but every *new* message starts its retry ladder from scratch:
+a dead or partitioned camera turns into a retry storm where each
+assessment request, assignment and probe burns its full retry budget.
+The breaker sits above the transport and cuts that off:
+
+* **closed** — traffic flows; consecutive give-ups are counted.
+* **open** — after ``failure_threshold`` consecutive give-ups the
+  breaker trips: sends are refused outright (counted, no radio energy,
+  no retry ladder) until a reset timeout expires.  The timeout grows
+  exponentially with consecutive trips and carries seeded jitter so a
+  fleet of breakers does not retry in lockstep.
+* **half-open** — after the timeout one probe message is let through;
+  its ack closes the breaker, another give-up re-opens it with a
+  longer timeout.
+
+All randomness comes from the seeded generator handed in at
+construction, and the generator is only drawn when the breaker
+*opens* — a breaker on a healthy link never consumes a draw, which
+keeps fault-free runs bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Closed → open → half-open state machine for one link."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 6.0,
+        backoff_factor: float = 2.0,
+        max_reset_timeout_s: float = 60.0,
+        jitter_s: float = 0.5,
+        rng: np.random.Generator | None = None,
+        on_transition: Callable[[str, str, float], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be positive")
+        if backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if jitter_s < 0:
+            raise ValueError("jitter_s cannot be negative")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.backoff_factor = backoff_factor
+        self.max_reset_timeout_s = max_reset_timeout_s
+        self.jitter_s = jitter_s
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.on_transition = on_transition
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.consecutive_opens = 0
+        self.retry_at = 0.0
+        self.blocked = 0
+        self._probe_in_flight = False
+
+    def _transition(self, new_state: str, now: float) -> None:
+        old, self.state = self.state, new_state
+        if old != new_state and self.on_transition is not None:
+            self.on_transition(old, new_state, now)
+
+    def _open(self, now: float) -> None:
+        timeout = min(
+            self.max_reset_timeout_s,
+            self.reset_timeout_s
+            * self.backoff_factor**self.consecutive_opens,
+        )
+        if self.jitter_s > 0:
+            timeout += float(self.rng.uniform(0.0, self.jitter_s))
+        self.consecutive_opens += 1
+        self.retry_at = now + timeout
+        self._probe_in_flight = False
+        self._transition(OPEN, now)
+
+    def allow(self, now: float) -> bool:
+        """May a message be sent to this link right now?
+
+        In the half-open state exactly one probe is allowed per call
+        sequence; further sends are refused until the probe resolves.
+        Refusals are tallied in :attr:`blocked`.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now >= self.retry_at:
+                self._transition(HALF_OPEN, now)
+                self._probe_in_flight = True
+                return True
+            self.blocked += 1
+            return False
+        # half-open: one probe at a time
+        if self._probe_in_flight:
+            self.blocked += 1
+            return False
+        self._probe_in_flight = True
+        return True
+
+    def record_success(self, now: float) -> None:
+        """An ack arrived: the link works again."""
+        self.consecutive_failures = 0
+        self.consecutive_opens = 0
+        self._probe_in_flight = False
+        if self.state != CLOSED:
+            self._transition(CLOSED, now)
+
+    def record_failure(self, now: float) -> None:
+        """A message exhausted its retries (or a probe failed)."""
+        if self.state == HALF_OPEN:
+            self._open(now)
+            return
+        if self.state == OPEN:
+            return  # already tripped; nothing new to learn
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.failure_threshold:
+            self._open(now)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "consecutive_opens": self.consecutive_opens,
+            "retry_at": self.retry_at,
+            "blocked": self.blocked,
+            "probe_in_flight": self._probe_in_flight,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.state = str(state["state"])
+        self.consecutive_failures = int(state["consecutive_failures"])
+        self.consecutive_opens = int(state["consecutive_opens"])
+        self.retry_at = float(state["retry_at"])
+        self.blocked = int(state["blocked"])
+        self._probe_in_flight = bool(state["probe_in_flight"])

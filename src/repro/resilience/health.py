@@ -1,0 +1,364 @@
+"""Per-camera health scoring from telemetry the controller already sees.
+
+The controller cannot look inside a camera — everything it knows
+arrives over the radio: detection metadata, heartbeats carrying
+battery residuals, transport acks (or their absence), and payloads
+flagged as corrupted in flight.  :class:`HealthMonitor` folds those
+observations into one health score per camera in ``[0, 1]``:
+
+* **detection residuals** — per-(camera, algorithm) running baselines
+  (Welford) of detection score and detection count, learned from the
+  camera's own clean traffic during assessment; large standardized
+  residuals against that baseline indicate sensor noise, calibration
+  drift, or fabricated detections.  Baselines only absorb samples that
+  are consistent with them, so a faulty camera cannot teach the
+  monitor that garbage is normal.
+* **stuck frames** — a camera replaying the same frame produces
+  byte-identical score tuples at a repeated frame index; a repeat
+  counter trips the channel.
+* **corruption / transport give-ups** — decayed counters of garbled
+  payloads and exhausted retry ladders on the camera's link.
+* **heartbeat misses** — deliberately a *weak* signal (floored): a
+  late heartbeat justifies degrading, never quarantining on its own,
+  because clock skew and transient loss both mimic it.
+* **battery slope** — drain rate estimated from consecutive heartbeat
+  residuals; a camera burning energy far faster than the configured
+  limit is failing even if its detections still look plausible.
+
+The health score is the product of the channel subscores, so any
+single hard failure drags the camera down while several mild symptoms
+compound.  The monitor is pure bookkeeping: it draws no randomness and
+performs no I/O, which keeps fault-free runs bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Thresholds and weights for :class:`HealthMonitor`."""
+
+    min_samples: int = 6
+    """Baseline observations per (camera, algorithm) before residuals count."""
+
+    residual_z_limit: float = 4.0
+    """Standardized residual where the residual channel starts to fail."""
+
+    residual_alpha: float = 0.5
+    """EWMA weight for folding new residual evidence into the channel."""
+
+    stuck_limit: int = 2
+    """Identical (frame_index, scores) repeats that trip the stuck channel."""
+
+    corruption_limit: float = 2.0
+    """Decayed corrupted-payload count where the channel starts to fail."""
+
+    give_up_limit: float = 2.0
+    """Decayed transport give-up count where the channel starts to fail."""
+
+    miss_floor: float = 0.45
+    """Lowest the heartbeat channel can go — misses degrade, never quarantine."""
+
+    miss_penalty: float = 0.2
+    """Health multiplier lost per consecutive heartbeat miss."""
+
+    battery_slope_limit_j_s: float = 25.0
+    """Drain rate (J/s) beyond which the battery channel starts to fail."""
+
+    transient_decay: float = 0.5
+    """Per-evaluation decay applied to corruption/give-up counters."""
+
+    degrade_below: float = 0.65
+    """Health below which an active camera is downgraded."""
+
+    quarantine_below: float = 0.35
+    """Health below which a camera is quarantined."""
+
+    readmit_above: float = 0.85
+    """Health a degraded/quarantined camera must regain to be readmitted."""
+
+    def __post_init__(self) -> None:
+        if self.min_samples < 2:
+            raise ValueError("min_samples must be >= 2")
+        if not 0.0 < self.residual_alpha <= 1.0:
+            raise ValueError("residual_alpha must be in (0, 1]")
+        if not 0.0 <= self.transient_decay < 1.0:
+            raise ValueError("transient_decay must be in [0, 1)")
+        if not (
+            0.0
+            <= self.quarantine_below
+            < self.degrade_below
+            < self.readmit_above
+            <= 1.0
+        ):
+            raise ValueError(
+                "thresholds must satisfy 0 <= quarantine_below < "
+                "degrade_below < readmit_above <= 1"
+            )
+
+
+@dataclass
+class _Baseline:
+    """Welford running mean/variance for one scalar stream."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self.m2 / (self.count - 1))
+
+    def z(self, value: float) -> float:
+        sigma = max(self.std, 1e-6)
+        return (value - self.mean) / sigma
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "mean": self.mean, "m2": self.m2}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "_Baseline":
+        return cls(
+            count=int(data["count"]),
+            mean=float(data["mean"]),
+            m2=float(data["m2"]),
+        )
+
+
+@dataclass
+class _CameraHealth:
+    """Mutable per-camera channel state."""
+
+    score_baselines: dict[str, _Baseline] = field(default_factory=dict)
+    count_baselines: dict[str, _Baseline] = field(default_factory=dict)
+    residual: float = 0.0
+    last_signature: tuple | None = None
+    repeats: int = 0
+    corrupted: float = 0.0
+    give_ups: float = 0.0
+    misses: int = 0
+    last_battery: tuple[float, float] | None = None
+    battery_slope: float = 0.0
+
+
+class HealthMonitor:
+    """Folds controller-side telemetry into per-camera health scores."""
+
+    def __init__(self, config: HealthConfig | None = None) -> None:
+        self.config = config if config is not None else HealthConfig()
+        self._cameras: dict[str, _CameraHealth] = {}
+
+    def _state(self, camera_id: str) -> _CameraHealth:
+        state = self._cameras.get(camera_id)
+        if state is None:
+            state = self._cameras[camera_id] = _CameraHealth()
+        return state
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+    def observe_detections(
+        self,
+        camera_id: str,
+        algorithm: str,
+        frame_index: int,
+        scores: list[float],
+    ) -> None:
+        """Fold one detection-metadata message into the residual channels."""
+        cfg = self.config
+        state = self._state(camera_id)
+        signature = (frame_index, tuple(round(s, 9) for s in scores))
+        if signature == state.last_signature:
+            state.repeats += 1
+        else:
+            state.last_signature = signature
+            state.repeats = 0
+
+        count_base = state.count_baselines.setdefault(algorithm, _Baseline())
+        score_base = state.score_baselines.setdefault(algorithm, _Baseline())
+        z_values: list[float] = []
+        if count_base.count >= cfg.min_samples:
+            z_values.append(count_base.z(float(len(scores))))
+        if scores and score_base.count >= cfg.min_samples:
+            mean_score = sum(scores) / len(scores)
+            z_values.append(score_base.z(mean_score))
+
+        z = max((abs(v) for v in z_values), default=0.0)
+        state.residual += cfg.residual_alpha * (z - state.residual)
+
+        # Only learn from traffic consistent with the baseline so a
+        # faulty camera cannot normalise its own garbage.
+        if z <= cfg.residual_z_limit:
+            count_base.update(float(len(scores)))
+            if scores:
+                score_base.update(sum(scores) / len(scores))
+
+    def observe_corruption(self, camera_id: str) -> None:
+        self._state(camera_id).corrupted += 1.0
+
+    def observe_give_up(self, camera_id: str) -> None:
+        self._state(camera_id).give_ups += 1.0
+
+    def observe_heartbeat(
+        self, camera_id: str, time_s: float, residual_joules: float | None
+    ) -> None:
+        state = self._state(camera_id)
+        state.misses = 0
+        if residual_joules is None:
+            return
+        if state.last_battery is not None:
+            prev_t, prev_j = state.last_battery
+            dt = time_s - prev_t
+            if dt > 1e-9:
+                state.battery_slope = max(0.0, (prev_j - residual_joules) / dt)
+        state.last_battery = (time_s, residual_joules)
+
+    def observe_miss(self, camera_id: str) -> None:
+        self._state(camera_id).misses += 1
+
+    def reset_baseline(self, camera_id: str) -> None:
+        """Recalibrate: forget learned baselines and transient symptoms."""
+        state = self._state(camera_id)
+        state.score_baselines.clear()
+        state.count_baselines.clear()
+        state.residual = 0.0
+        state.last_signature = None
+        state.repeats = 0
+        state.corrupted = 0.0
+        state.give_ups = 0.0
+        state.misses = 0
+        state.battery_slope = 0.0
+
+    def decay_transients(self) -> None:
+        """Age corruption/give-up evidence; call once per evaluation tick."""
+        decay = self.config.transient_decay
+        for state in self._cameras.values():
+            state.corrupted *= decay
+            state.give_ups *= decay
+            if state.corrupted < 1e-3:
+                state.corrupted = 0.0
+            if state.give_ups < 1e-3:
+                state.give_ups = 0.0
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def channels(self, camera_id: str) -> dict[str, float]:
+        """Per-channel subscores in [0, 1] for one camera."""
+        cfg = self.config
+        state = self._cameras.get(camera_id)
+        if state is None:
+            return {
+                "residual": 1.0,
+                "stuck": 1.0,
+                "corruption": 1.0,
+                "transport": 1.0,
+                "heartbeat": 1.0,
+                "battery": 1.0,
+            }
+        residual = 1.0
+        if state.residual > cfg.residual_z_limit:
+            residual = cfg.residual_z_limit / state.residual
+        stuck = 1.0 if state.repeats < cfg.stuck_limit else 0.15
+        corruption = 1.0
+        if state.corrupted > cfg.corruption_limit:
+            corruption = cfg.corruption_limit / state.corrupted
+        transport = 1.0
+        if state.give_ups > cfg.give_up_limit:
+            transport = cfg.give_up_limit / state.give_ups
+        heartbeat = max(
+            cfg.miss_floor, 1.0 - cfg.miss_penalty * state.misses
+        )
+        battery = 1.0
+        limit = cfg.battery_slope_limit_j_s
+        if limit > 0 and state.battery_slope > limit:
+            battery = limit / state.battery_slope
+        return {
+            "residual": residual,
+            "stuck": stuck,
+            "corruption": corruption,
+            "transport": transport,
+            "heartbeat": heartbeat,
+            "battery": battery,
+        }
+
+    def health(self, camera_id: str) -> float:
+        score = 1.0
+        for value in self.channels(camera_id).values():
+            score *= value
+        return score
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        out: dict[str, dict] = {}
+        for camera_id, state in self._cameras.items():
+            out[camera_id] = {
+                "score_baselines": {
+                    alg: base.to_dict()
+                    for alg, base in state.score_baselines.items()
+                },
+                "count_baselines": {
+                    alg: base.to_dict()
+                    for alg, base in state.count_baselines.items()
+                },
+                "residual": state.residual,
+                "last_signature": (
+                    [state.last_signature[0], list(state.last_signature[1])]
+                    if state.last_signature is not None
+                    else None
+                ),
+                "repeats": state.repeats,
+                "corrupted": state.corrupted,
+                "give_ups": state.give_ups,
+                "misses": state.misses,
+                "last_battery": (
+                    list(state.last_battery)
+                    if state.last_battery is not None
+                    else None
+                ),
+                "battery_slope": state.battery_slope,
+            }
+        return out
+
+    def restore(self, data: dict) -> None:
+        self._cameras.clear()
+        for camera_id, payload in data.items():
+            state = _CameraHealth(
+                score_baselines={
+                    alg: _Baseline.from_dict(base)
+                    for alg, base in payload["score_baselines"].items()
+                },
+                count_baselines={
+                    alg: _Baseline.from_dict(base)
+                    for alg, base in payload["count_baselines"].items()
+                },
+                residual=float(payload["residual"]),
+                repeats=int(payload["repeats"]),
+                corrupted=float(payload["corrupted"]),
+                give_ups=float(payload["give_ups"]),
+                misses=int(payload["misses"]),
+                battery_slope=float(payload["battery_slope"]),
+            )
+            signature = payload["last_signature"]
+            if signature is not None:
+                state.last_signature = (
+                    int(signature[0]),
+                    tuple(float(s) for s in signature[1]),
+                )
+            battery = payload["last_battery"]
+            if battery is not None:
+                state.last_battery = (float(battery[0]), float(battery[1]))
+            self._cameras[camera_id] = state

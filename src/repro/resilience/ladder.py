@@ -1,0 +1,316 @@
+"""Staged degradation ladder: active → degraded → quarantined.
+
+:class:`ResilienceCoordinator` owns the per-camera
+:class:`~repro.resilience.health.HealthMonitor` and one
+:class:`~repro.resilience.breaker.CircuitBreaker` per camera link, and
+turns health scores into *mode transitions* with hysteresis:
+
+* health < ``degrade_below``      → **degraded** (cheapest profile)
+* health < ``quarantine_below``   → **quarantined** (out of selection)
+* health > ``readmit_above``      → back to **active**, with the
+  camera's learned baselines reset (recalibration) so stale statistics
+  from the faulty era don't immediately re-trip the monitor.
+
+Quarantined cameras receive periodic cheap re-admission probes (a
+one-frame assessment request); a clean probe raises health back over
+the readmit threshold.  Every transition is recorded in the shared
+fault log (``camera_degraded`` / ``camera_quarantined`` as fault
+events, ``camera_readmitted`` / ``camera_recalibrated`` as recovery
+events) so chaos checkpoint replay verification covers the ladder for
+free.
+
+The coordinator is deliberately passive: it never touches the network
+or the controller directly.  The owning node calls :meth:`evaluate` on
+its liveness tick and applies the returned transitions itself, which
+keeps this module free of any engine/network dependency (see the layer
+contract).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.core.controller import (
+    CAMERA_ACTIVE,
+    CAMERA_DEGRADED,
+    CAMERA_MODES,
+    CAMERA_QUARANTINED,
+)
+from repro.faults.events import FaultLog
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.health import HealthConfig, HealthMonitor
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Tunables for the graceful-degradation layer."""
+
+    enabled: bool = False
+    health: HealthConfig = field(default_factory=HealthConfig)
+    breaker_failure_threshold: int = 3
+    breaker_reset_s: float = 6.0
+    breaker_backoff: float = 2.0
+    breaker_max_reset_s: float = 60.0
+    breaker_jitter_s: float = 0.5
+    probe_interval_s: float = 8.0
+    probe_frames: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.probe_interval_s <= 0:
+            raise ValueError("probe_interval_s must be positive")
+        if self.probe_frames < 1:
+            raise ValueError("probe_frames must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "degrade_below": self.health.degrade_below,
+            "quarantine_below": self.health.quarantine_below,
+            "readmit_above": self.health.readmit_above,
+            "breaker_failure_threshold": self.breaker_failure_threshold,
+            "breaker_reset_s": self.breaker_reset_s,
+            "probe_interval_s": self.probe_interval_s,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class ModeTransition:
+    """One rung change on the degradation ladder."""
+
+    time_s: float
+    camera_id: str
+    old_mode: str
+    new_mode: str
+    health: float
+
+
+class ResilienceCoordinator:
+    """Maps per-camera health onto the degradation ladder."""
+
+    def __init__(
+        self,
+        config: ResilienceConfig | None = None,
+        fault_log: FaultLog | None = None,
+    ) -> None:
+        self.config = config if config is not None else ResilienceConfig()
+        self.fault_log = fault_log
+        self.monitor = HealthMonitor(self.config.health)
+        self.modes: dict[str, str] = {}
+        self.transitions: list[ModeTransition] = []
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._last_probe: dict[str, float] = {}
+        #: Called after a camera is readmitted; the owner hooks
+        #: recalibration (baseline reset is done here already).
+        self.on_readmit: Callable[[str, float], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(self, camera_id: str) -> None:
+        self.modes.setdefault(camera_id, CAMERA_ACTIVE)
+
+    def mode(self, camera_id: str) -> str:
+        return self.modes.get(camera_id, CAMERA_ACTIVE)
+
+    @property
+    def quarantined(self) -> list[str]:
+        return [
+            c for c, m in self.modes.items() if m == CAMERA_QUARANTINED
+        ]
+
+    # ------------------------------------------------------------------
+    # Breakers
+    # ------------------------------------------------------------------
+    def breaker(self, camera_id: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding one link."""
+        existing = self._breakers.get(camera_id)
+        if existing is not None:
+            return existing
+        cfg = self.config
+
+        def log_transition(old: str, new: str, now: float) -> None:
+            if self.fault_log is None:
+                return
+            detail = f"{old}->{new}"
+            if new == "closed":
+                self.fault_log.recovery(
+                    now, "breaker_closed", camera_id, detail
+                )
+            else:
+                self.fault_log.fault(
+                    now, f"breaker_{new}", camera_id, detail
+                )
+
+        breaker = CircuitBreaker(
+            failure_threshold=cfg.breaker_failure_threshold,
+            reset_timeout_s=cfg.breaker_reset_s,
+            backoff_factor=cfg.breaker_backoff,
+            max_reset_timeout_s=cfg.breaker_max_reset_s,
+            jitter_s=cfg.breaker_jitter_s,
+            rng=np.random.default_rng(
+                (cfg.seed, 0xB4EA4E5, zlib.crc32(camera_id.encode()))
+            ),
+            on_transition=log_transition,
+        )
+        self._breakers[camera_id] = breaker
+        return breaker
+
+    # ------------------------------------------------------------------
+    # Ladder evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, now: float) -> list[ModeTransition]:
+        """Advance the ladder from current health; returns transitions.
+
+        Call once per liveness tick.  Transient evidence (corruption,
+        give-ups) decays here, so symptoms must keep arriving for a
+        camera to stay unhealthy.
+        """
+        out: list[ModeTransition] = []
+        for camera_id, mode in self.modes.items():
+            health = self.monitor.health(camera_id)
+            cfg = self.config.health
+            new_mode = mode
+            if mode != CAMERA_QUARANTINED and health < cfg.quarantine_below:
+                new_mode = CAMERA_QUARANTINED
+            elif mode == CAMERA_ACTIVE and health < cfg.degrade_below:
+                new_mode = CAMERA_DEGRADED
+            elif mode != CAMERA_ACTIVE and health > cfg.readmit_above:
+                new_mode = CAMERA_ACTIVE
+            if new_mode == mode:
+                continue
+            transition = ModeTransition(
+                time_s=now,
+                camera_id=camera_id,
+                old_mode=mode,
+                new_mode=new_mode,
+                health=health,
+            )
+            self.modes[camera_id] = new_mode
+            self.transitions.append(transition)
+            out.append(transition)
+            self._record(transition)
+            if new_mode == CAMERA_ACTIVE:
+                # Recalibrate on recovery: drop the baselines learned
+                # during the faulty era so the readmitted camera starts
+                # from a clean slate.
+                self.monitor.reset_baseline(camera_id)
+                if self.fault_log is not None:
+                    self.fault_log.recovery(
+                        now, "camera_recalibrated", camera_id
+                    )
+                if self.on_readmit is not None:
+                    self.on_readmit(camera_id, now)
+        self.monitor.decay_transients()
+        return out
+
+    def _record(self, transition: ModeTransition) -> None:
+        if self.fault_log is None:
+            return
+        detail = (
+            f"{transition.old_mode}->{transition.new_mode} "
+            f"health={transition.health:.3f}"
+        )
+        if transition.new_mode == CAMERA_ACTIVE:
+            self.fault_log.recovery(
+                transition.time_s,
+                "camera_readmitted",
+                transition.camera_id,
+                detail,
+            )
+        else:
+            self.fault_log.fault(
+                transition.time_s,
+                f"camera_{transition.new_mode}",
+                transition.camera_id,
+                detail,
+            )
+
+    # ------------------------------------------------------------------
+    # Re-admission probes
+    # ------------------------------------------------------------------
+    def due_probes(self, now: float) -> list[str]:
+        """Quarantined cameras whose next cheap probe is due."""
+        due: list[str] = []
+        for camera_id in self.quarantined:
+            last = self._last_probe.get(camera_id)
+            if last is None or now - last >= self.config.probe_interval_s:
+                self._last_probe[camera_id] = now
+                due.append(camera_id)
+        return due
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "modes": dict(self.modes),
+            "monitor": self.monitor.snapshot(),
+            "breakers": {
+                camera_id: breaker.snapshot()
+                for camera_id, breaker in self._breakers.items()
+            },
+            "last_probe": dict(self._last_probe),
+        }
+
+    def restore(self, data: dict) -> None:
+        for camera_id, mode in data["modes"].items():
+            if mode not in CAMERA_MODES:
+                raise ValueError(
+                    f"checkpointed mode {mode!r} for camera "
+                    f"{camera_id!r} is not one of {CAMERA_MODES}"
+                )
+            self.modes[camera_id] = mode
+        self.monitor.restore(data["monitor"])
+        for camera_id, state in data["breakers"].items():
+            self.breaker(camera_id).restore(state)
+        self._last_probe = {
+            camera_id: float(t)
+            for camera_id, t in data["last_probe"].items()
+        }
+
+
+def build_coordinator(
+    config: ResilienceConfig | None,
+    camera_ids: list[str],
+    fault_log: FaultLog | None = None,
+) -> ResilienceCoordinator | None:
+    """Construct a coordinator for a deployment, or ``None`` when the
+    resilience layer is disabled (the inert default)."""
+    if config is None or not config.enabled:
+        return None
+    coordinator = ResilienceCoordinator(config=config, fault_log=fault_log)
+    for camera_id in camera_ids:
+        coordinator.register(camera_id)
+    return coordinator
+
+
+def config_with_thresholds(
+    base: ResilienceConfig,
+    degrade_below: float | None = None,
+    quarantine_below: float | None = None,
+    readmit_above: float | None = None,
+) -> ResilienceConfig:
+    """A copy of ``base`` with selected health thresholds overridden
+    (used by the ``--health-*`` CLI flags)."""
+    health = base.health
+    health = replace(
+        health,
+        degrade_below=(
+            degrade_below if degrade_below is not None else health.degrade_below
+        ),
+        quarantine_below=(
+            quarantine_below
+            if quarantine_below is not None
+            else health.quarantine_below
+        ),
+        readmit_above=(
+            readmit_above if readmit_above is not None else health.readmit_above
+        ),
+    )
+    return replace(base, health=health)

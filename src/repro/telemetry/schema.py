@@ -25,6 +25,25 @@ Three artefacts leave a run:
     {"schema": "repro.event.v1", "run_id": str, "time_s": float,
      "kind": str, "node_id": str, "detail": {...}}
 
+The ``kind`` vocabulary is open-ended; the graceful-degradation layer
+added these kinds (all ordinary ``repro.event.v1`` records — the
+record shape is unchanged):
+
+* data-plane fault injections: ``sensor_fault``,
+  ``calibration_drift``, ``clock_skew``, ``message_corruption``, each
+  with a matching ``*_cleared`` recovery when its window closes;
+* ``message_corrupted`` — a receiver discarded a garbled payload
+  (the sender's retransmission timer redelivers it);
+* ``transport_give_up`` — reliable delivery exhausted its retries;
+  ``detail`` names the message kind, sequence number, recipient and
+  attempt count;
+* camera-link circuit breakers: ``breaker_open`` /
+  ``breaker_half_open`` (faults) and ``breaker_closed`` (recovery);
+* the staged ladder: ``camera_degraded`` / ``camera_quarantined``
+  (faults) and ``quarantine_probe`` / ``camera_readmitted`` /
+  ``camera_recalibrated`` (recoveries), with controller
+  ``reselected`` events recording the substitutions they trigger.
+
 A fourth versioned artefact, the crash-safe deployment checkpoint
 (``--checkpoint-dir``, ``repro.checkpoint.v1``), is documented here
 for completeness but owned by :mod:`repro.checkpoint.store` (telemetry

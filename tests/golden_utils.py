@@ -114,6 +114,9 @@ def chaos_result_fingerprint(result) -> dict:
             event_fingerprint(e) for e in result.recovery_events
         ],
         "simulated_s": result.simulated_s,
+        "corrupted_received": result.corrupted_received,
+        "breaker_blocked": result.breaker_blocked,
+        "camera_modes": dict(sorted(result.camera_modes.items())),
     }
 
 

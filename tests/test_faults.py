@@ -18,11 +18,15 @@ from repro.energy.battery import Battery
 from repro.energy.model import ProcessingEnergyModel
 from repro.faults import (
     BatteryFault,
+    CalibrationDrift,
+    ClockSkew,
     Crash,
     FaultInjector,
     FaultPlan,
     LinkFault,
+    MessageCorruption,
     Partition,
+    SensorFault,
 )
 from repro.network.messages import EnergyReport
 from repro.network.node import CameraSensorNode, ControllerNode
@@ -98,6 +102,73 @@ class TestFaultPlan:
             Crash("a", at_s=2.0, reboot_s=1.0)
         with pytest.raises(ValueError):
             BatteryFault("a", at_s=0.0, fraction=0.0)
+
+    def test_data_fault_round_trip(self, tmp_path):
+        """The data-plane fault classes survive the JSON round trip,
+        open-ended windows included."""
+        plan = FaultPlan(seed=3).with_data_faults(
+            SensorFault("a", noise=0.5, false_positive_rate=2.0),
+            SensorFault("b", start_s=1.0, end_s=9.0, stuck=True),
+            CalibrationDrift("a", score_drift_per_s=-0.1),
+            ClockSkew("b", skew=0.5, start_s=2.0),
+            MessageCorruption(node_a="a", rate=0.25),
+        )
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+        assert "Infinity" not in path.read_text()
+
+    def test_truncated_plan_file_raises(self, tmp_path):
+        """A half-written plan must fail loudly, not load as empty."""
+        path = tmp_path / "plan.json"
+        full = json.dumps(FaultPlan(seed=1).to_dict())
+        path.write_text(full[: len(full) // 2])
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FaultPlan.load(path)
+
+    def test_future_versioned_kind_is_named(self, tmp_path):
+        """A plan written by a future schema version (an unknown fault
+        kind) is rejected with the offending kind in the message."""
+        data = FaultPlan(seed=1).to_dict()
+        data["quantum_faults"] = [{"node_id": "a", "at_s": 1.0}]
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="quantum_faults"):
+            FaultPlan.load(path)
+
+    def test_unexpected_field_names_kind_and_field(self):
+        data = FaultPlan(seed=1).to_dict()
+        data["crashes"] = [{"node_id": "a", "at_s": 1.0, "rebot_s": 2.0}]
+        with pytest.raises(
+            ValueError, match=r"crashes\[0\].*rebot_s"
+        ):
+            FaultPlan.from_dict(data)
+
+    def test_missing_required_field_is_named(self):
+        data = FaultPlan(seed=1).to_dict()
+        data["sensor_faults"] = [{"noise": 0.5}]
+        with pytest.raises(
+            ValueError, match=r"sensor_faults\[0\].*node_id"
+        ):
+            FaultPlan.from_dict(data)
+
+    def test_invalid_field_value_is_located(self):
+        data = FaultPlan(seed=1).to_dict()
+        data["link_faults"] = [{"loss_rate": 3.0}]
+        with pytest.raises(ValueError, match=r"link_faults\[0\]"):
+            FaultPlan.from_dict(data)
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            FaultPlan.from_dict({"seed": "eleven"})
+
+    def test_non_object_plan_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            FaultPlan.from_dict(["not", "a", "plan"])
+
+    def test_with_data_faults_rejects_unknown_type(self):
+        with pytest.raises(TypeError, match="Crash"):
+            FaultPlan().with_data_faults(Crash("a", at_s=1.0))
 
 
 class TestSimulatorTopology:

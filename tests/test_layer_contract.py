@@ -30,8 +30,29 @@ CONTRACTS = {
     "repro.detection": ("repro.engine", "repro.experiments", "repro.cli"),
     "repro.energy": ("repro.engine", "repro.experiments", "repro.cli"),
     "repro.network": ("repro.engine", "repro.experiments", "repro.cli"),
-    "repro.faults": ("repro.engine", "repro.experiments", "repro.cli"),
-    "repro.telemetry": ("repro.engine", "repro.experiments", "repro.cli"),
+    # The resilience layer sits between the fault model and the
+    # engine: it may read repro.faults / repro.telemetry / repro.core,
+    # and the engine may import it — never the reverse.  It also never
+    # touches the network directly (the owning node applies its
+    # decisions), so a network dependency is forbidden too.
+    "repro.resilience": (
+        "repro.engine",
+        "repro.experiments",
+        "repro.cli",
+        "repro.network",
+    ),
+    "repro.faults": (
+        "repro.engine",
+        "repro.experiments",
+        "repro.cli",
+        "repro.resilience",
+    ),
+    "repro.telemetry": (
+        "repro.engine",
+        "repro.experiments",
+        "repro.cli",
+        "repro.resilience",
+    ),
     "repro.perf": ("repro.engine", "repro.experiments", "repro.cli"),
     # Checkpointing encodes values and stores documents; the engine
     # decides what its state is.  The engine imports checkpoint, never
