@@ -222,3 +222,23 @@ def verify_event_prefix(
                 f"replayed {label} event #{index} diverges from the "
                 f"checkpoint: expected {expected!r}, got {actual!r}"
             )
+
+
+def live_telemetry_to_dict(telemetry) -> dict:
+    """Streaming-flush continuity state of a ``Telemetry`` object.
+
+    A resumed run must keep emitting ``repro.stream.v1`` records with
+    monotone ``seq`` and the alert engine must not re-fire conditions
+    that were already active when the checkpoint was cut, so both ride
+    in the run checkpoint beside the metrics snapshot.
+    """
+    return {
+        "flush_seq": telemetry._flush_seq,
+        "alerts": telemetry.alerts.snapshot(),
+    }
+
+
+def restore_live_telemetry(telemetry, state: dict) -> None:
+    """Adopt a :func:`live_telemetry_to_dict` payload."""
+    telemetry._flush_seq = int(state.get("flush_seq", 0))
+    telemetry.alerts.restore(state.get("alerts", {}))

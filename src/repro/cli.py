@@ -11,7 +11,11 @@ Usage::
     python -m repro run --checkpoint-dir ckpt --result-out result.json
     python -m repro run --checkpoint-dir ckpt --resume
     python -m repro chaos --loss-rate 0.2 --crash 1 --seed 7
+    python -m repro run --stream-out s.jsonl --metrics-port 0
+    python -m repro run --alert-rule 'battery_fraction_remaining < 0.25'
     python -m repro telemetry-report --metrics m.json --trace t.jsonl
+    python -m repro obs profile trace.jsonl
+    python -m repro obs diff baseline.json candidate.json
     python -m repro train --dataset 1 --save library.json
 """
 
@@ -25,16 +29,69 @@ import numpy as np
 
 
 def _make_telemetry(args: argparse.Namespace):
-    """A Telemetry sink when any ``--*-out`` flag asked for one.
+    """A Telemetry sink when any telemetry flag asked for one.
 
     The run id is derived from the command and seed so repeated runs of
     the same configuration produce byte-comparable dump files.
     """
-    if not (args.metrics_out or args.trace_out or args.events_out):
+    if not (
+        args.metrics_out
+        or args.trace_out
+        or args.events_out
+        or args.stream_out
+        or args.metrics_port is not None
+        or args.alert_rule
+    ):
         return None
     from repro.telemetry import Telemetry
 
     return Telemetry(run_id=f"{args.command}-{args.seed}")
+
+
+def _attach_live(telemetry, args: argparse.Namespace):
+    """Wire the live flags: stream sink, alert rules, HTTP exporter.
+
+    Returns the started exporter (or ``None``); the caller must pass
+    it to :func:`_teardown_live` on every exit path.
+    """
+    if telemetry is None:
+        return None
+    if args.stream_out:
+        from repro.telemetry import JsonlStreamSink
+
+        telemetry.attach_sink(
+            JsonlStreamSink(
+                args.stream_out,
+                rotate_bytes=args.stream_rotate_bytes,
+                resume=bool(getattr(args, "resume", False)),
+            )
+        )
+    if args.alert_rule:
+        from repro.telemetry import AlertRuleError
+
+        for expression in args.alert_rule:
+            try:
+                telemetry.add_alert_rule(expression)
+            except AlertRuleError as exc:
+                raise SystemExit(f"error: {exc}")
+    if args.metrics_port is None:
+        return None
+    from repro.telemetry import MetricsExporter
+
+    exporter = MetricsExporter(telemetry, port=args.metrics_port)
+    exporter.start()
+    print(
+        f"serving /metrics and /status on "
+        f"http://{exporter.host}:{exporter.port}"
+    )
+    return exporter
+
+
+def _teardown_live(telemetry, exporter) -> None:
+    if exporter is not None:
+        exporter.close()
+    if telemetry is not None:
+        telemetry.close_sinks()
 
 
 def _write_telemetry(telemetry, args: argparse.Namespace) -> None:
@@ -68,6 +125,40 @@ def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:
         "--events-out",
         default=None,
         help="dump structured events as JSONL (repro.event.v1)",
+    )
+    p.add_argument(
+        "--stream-out",
+        default=None,
+        help="stream one repro.stream.v1 JSONL record per completed "
+        "round/tick (atomic appends; readable while the run is live, "
+        "and kill-and-resume stitches it gap-free)",
+    )
+    p.add_argument(
+        "--stream-rotate-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rotate the stream file atomically before it exceeds N "
+        "bytes (default: never rotate)",
+    )
+    p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live Prometheus text on http://127.0.0.1:PORT"
+        "/metrics and run state on /status while the run executes "
+        "(0 picks a free port, printed at startup)",
+    )
+    p.add_argument(
+        "--alert-rule",
+        action="append",
+        default=None,
+        metavar="EXPR",
+        help="threshold alert evaluated at every flush, e.g. "
+        "'battery_fraction_remaining < 0.25' or "
+        "'breaker_open_total > 3'; transitions are emitted as "
+        "alert/alert_cleared events (repeatable)",
     )
     p.add_argument(
         "--log-level",
@@ -316,6 +407,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     engine = spec.build_engine(
         config=config, telemetry=telemetry, timing=timing
     )
+    exporter = _attach_live(telemetry, args)
     try:
         result = spec.execute(engine=engine, checkpointer=checkpointer)
     except CheckpointInterrupted as stop:
@@ -330,6 +422,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # Release pools and shared-memory segments on every exit path
         # (/dev/shm leaks otherwise survive the process).
         engine.close()
+        _teardown_live(telemetry, exporter)
     if args.result_out:
         from repro.checkpoint.codec import run_result_to_dict
         from repro.ioutils import atomic_write_json
@@ -406,6 +499,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     # that show loss, retries and re-selection at work.  It is also
     # the only run checkpointed — the zero-fault baseline is cheap to
     # recompute on resume.
+    exporter = _attach_live(telemetry, args)
     try:
         result = run_chaos(
             spec,
@@ -422,6 +516,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        _teardown_live(telemetry, exporter)
 
     if args.result_out:
         from repro.checkpoint.codec import chaos_result_to_dict
@@ -484,9 +580,56 @@ def _cmd_telemetry_report(args: argparse.Namespace) -> int:
             metrics_path=args.metrics,
             trace_path=args.trace,
             events_path=args.events,
+            events_limit=args.limit,
         )
     )
     return 0
+
+
+def _cmd_obs_profile(args: argparse.Namespace) -> int:
+    from repro.obs import load_spans, render_profile
+
+    try:
+        records = load_spans(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        render_profile(records, limit=args.limit, folded=args.folded),
+        end="",
+    )
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs import DiffThresholds, diff_runs, load_metrics, render_diff
+    from repro.obs.diff import WORSE, has_regression
+
+    overrides = {}
+    for spec in args.threshold_for or ():
+        name, _, value = spec.partition("=")
+        if not value or name not in WORSE:
+            print(
+                f"error: bad --threshold-for {spec!r}; expected "
+                f"indicator=fraction with indicator one of "
+                f"{sorted(WORSE)}",
+                file=sys.stderr,
+            )
+            return 2
+        overrides[name] = float(value)
+    try:
+        baseline = load_metrics(args.baseline)
+        candidate = load_metrics(args.candidate)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diffs = diff_runs(
+        baseline,
+        candidate,
+        DiffThresholds(default=args.threshold, overrides=overrides),
+    )
+    print(render_diff(diffs), end="")
+    return 1 if has_regression(diffs) else 0
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -715,7 +858,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", default=None, help="metrics JSON dump")
     p.add_argument("--trace", default=None, help="span JSONL dump")
     p.add_argument("--events", default=None, help="event JSONL dump")
+    p.add_argument(
+        "--limit",
+        type=int,
+        default=40,
+        help="event-timeline rows before truncation (truncation is "
+        "announced as '(+N more events)')",
+    )
     p.set_defaults(func=_cmd_telemetry_report)
+
+    p = sub.add_parser(
+        "obs",
+        help="offline observability analysis over telemetry artifacts",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    p = obs_sub.add_parser(
+        "profile",
+        help="fold a span trace into flamegraph-style aggregates",
+    )
+    p.add_argument("trace", help="span JSONL dump (repro.span.v1)")
+    p.add_argument(
+        "--limit", type=int, default=30, help="span paths to show"
+    )
+    p.add_argument(
+        "--folded",
+        action="store_true",
+        help="emit collapsed-stack lines (path self-µs) for external "
+        "flamegraph tooling instead of the table",
+    )
+    p.set_defaults(func=_cmd_obs_profile)
+
+    p = obs_sub.add_parser(
+        "diff",
+        help="compare two runs' efficiency indicators; exits 1 on "
+        "regression",
+    )
+    p.add_argument("baseline", help="metrics JSON dump or stream JSONL")
+    p.add_argument("candidate", help="metrics JSON dump or stream JSONL")
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative regression tolerance (default 0.10 = 10%%)",
+    )
+    p.add_argument(
+        "--threshold-for",
+        action="append",
+        default=None,
+        metavar="INDICATOR=FRACTION",
+        help="per-indicator override, e.g. joules_per_detection=0.05 "
+        "(repeatable)",
+    )
+    p.set_defaults(func=_cmd_obs_diff)
 
     p = sub.add_parser("train", help="offline training -> JSON library")
     p.add_argument("--dataset", type=int, default=1, choices=(1, 2, 3, 4))

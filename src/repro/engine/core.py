@@ -45,7 +45,9 @@ from repro.checkpoint.codec import (
     controller_state_to_dict,
     decision_from_dict,
     decision_to_dict,
+    live_telemetry_to_dict,
     restore_controller_state,
+    restore_live_telemetry,
     restore_rng_state,
     rng_state_to_dict,
 )
@@ -639,6 +641,11 @@ class DeploymentEngine:
                     probabilities,
                     decisions,
                 ) = self._restore_checkpoint(resume_state, meter)
+                if self.telemetry is not None:
+                    # Stitch the live stream: sinks drop every round
+                    # this resumed run will flush again, so the final
+                    # stream is gap-free with no duplicates.
+                    self.telemetry.prepare_resume(first_round)
 
         run_span = None
         if self.telemetry is not None:
@@ -680,6 +687,19 @@ class DeploymentEngine:
                         self.controller.set_camera_mode(
                             transition.camera_id, transition.new_mode
                         )
+                if self.telemetry is not None:
+                    # Live flush *before* the checkpoint decision: a
+                    # crash right after the save then finds every
+                    # round <= the checkpoint already streamed, which
+                    # is what resume stitching assumes.
+                    if (
+                        self._resilience is not None
+                        and self.telemetry.live_enabled
+                    ):
+                        self._resilience.record_metrics(self.telemetry)
+                    self.telemetry.flush_round(
+                        round_index, self.clock.now_s
+                    )
                 if checkpointer is not None:
                     checkpointer.unit_complete(
                         round_index,
@@ -830,6 +850,7 @@ class DeploymentEngine:
             state["resilience"] = self._resilience.snapshot()
         if self.telemetry is not None:
             state["metrics"] = self.telemetry.registry.snapshot()
+            state["live"] = live_telemetry_to_dict(self.telemetry)
         return state
 
     def _restore_checkpoint(
@@ -851,6 +872,8 @@ class DeploymentEngine:
             self._resilience.restore(state["resilience"])
         if self.telemetry is not None and state.get("metrics"):
             self.telemetry.registry.merge(state["metrics"])
+        if self.telemetry is not None and state.get("live"):
+            restore_live_telemetry(self.telemetry, state["live"])
         return (
             int(state["next_round"]),
             int(state["detected_total"]),

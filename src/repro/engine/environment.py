@@ -302,6 +302,19 @@ class FaultInjectedEnvironment(Environment):
                     "seed": conditions.seed,
                 },
             )
+            if resume_state is not None and telemetry is not None:
+                # Chaos resumes by seeded replay from t = 0, which
+                # re-emits every tick's flush; truncate the stream so
+                # the replay rebuilds it without duplicates.
+                telemetry.prepare_resume(0)
+
+        def _flush_tick(tick: int) -> None:
+            # Live flush *before* the checkpoint callback on the same
+            # tick, so a crash after the save finds every covered tick
+            # already streamed (same ordering the run loop uses).
+            if coordinator is not None and telemetry.live_enabled:
+                coordinator.record_metrics(telemetry)
+            telemetry.flush_round(tick, sim.now)
 
         def _progress() -> dict:
             # Replay markers, not resumable state: what a seeded
@@ -382,15 +395,22 @@ class FaultInjectedEnvironment(Environment):
                 camera_algorithms, timeout_s=conditions.assessment_timeout_s
             )
 
-            if checkpointer is not None:
+            if checkpointer is not None or telemetry is not None:
                 spf = conditions.seconds_per_frame
                 total_ticks = max(1, int(horizon / spf))
+
+                def _tick(t: int) -> None:
+                    if telemetry is not None:
+                        _flush_tick(t)
+                    if checkpointer is not None:
+                        checkpointer.unit_complete(
+                            t, total_ticks, _progress
+                        )
+
                 for tick in range(total_ticks):
                     sim.schedule(
                         (tick + 1) * spf - sim.now,
-                        lambda t=tick: checkpointer.unit_complete(
-                            t, total_ticks, _progress
-                        ),
+                        lambda t=tick: _tick(t),
                     )
 
             sim.run(until=horizon + conditions.seconds_per_frame)

@@ -1,0 +1,50 @@
+"""Offline observability analysis: profiling traces, diffing runs.
+
+``repro.telemetry`` produces artifacts (metric snapshots, span
+traces, event logs, stream files); this package consumes them.  The
+split is a layer contract: analysis tools may read telemetry formats
+but never import the engine, so they run anywhere the artifacts land
+— a laptop, a CI job — without dragging in numpy-heavy simulation
+code.
+
+* :mod:`repro.obs.profile` folds a span-tree trace into
+  flamegraph-style aggregates (calls, total and self time per span
+  path) and extracts the critical path of each round.
+* :mod:`repro.obs.diff` compares the efficiency indicators of two
+  runs' metric snapshots and flags regressions against configurable
+  thresholds — the guardrail CI runs on every candidate change.
+"""
+
+from repro.obs.diff import (
+    DiffThresholds,
+    IndicatorDiff,
+    diff_runs,
+    extract_indicators,
+    has_regression,
+    load_metrics,
+    render_diff,
+)
+from repro.obs.profile import (
+    ProfileEntry,
+    critical_paths,
+    fold_spans,
+    load_spans,
+    render_folded,
+    render_profile,
+)
+
+__all__ = [
+    "DiffThresholds",
+    "IndicatorDiff",
+    "ProfileEntry",
+    "critical_paths",
+    "diff_runs",
+    "extract_indicators",
+    "fold_spans",
+    "has_regression",
+    "load_metrics",
+    "load_spans",
+    "render_diff",
+    "render_folded",
+    "render_profile",
+]

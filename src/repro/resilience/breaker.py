@@ -65,6 +65,10 @@ class CircuitBreaker:
         self.state = CLOSED
         self.consecutive_failures = 0
         self.consecutive_opens = 0
+        #: Lifetime trip count (unlike ``consecutive_opens`` it never
+        #: resets on recovery) — the live-telemetry layer mirrors it
+        #: into the ``breaker_open_total`` counter alert rules watch.
+        self.opened_total = 0
         self.retry_at = 0.0
         self.blocked = 0
         self._probe_in_flight = False
@@ -83,6 +87,7 @@ class CircuitBreaker:
         if self.jitter_s > 0:
             timeout += float(self.rng.uniform(0.0, self.jitter_s))
         self.consecutive_opens += 1
+        self.opened_total += 1
         self.retry_at = now + timeout
         self._probe_in_flight = False
         self._transition(OPEN, now)
@@ -137,6 +142,7 @@ class CircuitBreaker:
             "state": self.state,
             "consecutive_failures": self.consecutive_failures,
             "consecutive_opens": self.consecutive_opens,
+            "opened_total": self.opened_total,
             "retry_at": self.retry_at,
             "blocked": self.blocked,
             "probe_in_flight": self._probe_in_flight,
@@ -146,6 +152,9 @@ class CircuitBreaker:
         self.state = str(state["state"])
         self.consecutive_failures = int(state["consecutive_failures"])
         self.consecutive_opens = int(state["consecutive_opens"])
+        # Absent in pre-live-telemetry checkpoints; 0 keeps the mirror
+        # counter consistent (it only ever advances by deltas).
+        self.opened_total = int(state.get("opened_total", 0))
         self.retry_at = float(state["retry_at"])
         self.blocked = int(state["blocked"])
         self._probe_in_flight = bool(state["probe_in_flight"])

@@ -245,6 +245,52 @@ class ResilienceCoordinator:
         return due
 
     # ------------------------------------------------------------------
+    # Live telemetry
+    # ------------------------------------------------------------------
+    def record_metrics(self, telemetry) -> None:
+        """Mirror health, modes and breaker trips into a registry.
+
+        Pure read: never draws rng, never changes ladder state, so an
+        instrumented run stays bit-identical.  Called at each live
+        flush so the ``/metrics`` page and alert rules (e.g.
+        ``breaker_open_total > 3``, ``camera_health < 0.5``) see the
+        resilience picture without waiting for the run to end.
+        """
+        registry = telemetry.registry
+        health = registry.gauge(
+            "camera_health",
+            "Latest fused health score per camera (1.0 = healthy).",
+            labels=("camera",),
+        )
+        mode_gauge = registry.gauge(
+            "camera_mode",
+            "Resilience ladder one-hot: 1 on the camera's current "
+            "mode series, 0 elsewhere.",
+            labels=("camera", "mode"),
+        )
+        opens = registry.counter(
+            "breaker_open_total",
+            "Circuit-breaker trips per camera link (lifetime).",
+            labels=("camera",),
+        )
+        for camera_id, mode in sorted(self.modes.items()):
+            health.set(self.monitor.health(camera_id), camera=camera_id)
+            for candidate in CAMERA_MODES:
+                mode_gauge.set(
+                    1.0 if candidate == mode else 0.0,
+                    camera=camera_id,
+                    mode=candidate,
+                )
+        for camera_id, breaker in sorted(self._breakers.items()):
+            # Advance the counter by the delta the registry has not
+            # seen yet; deriving the cursor from the counter itself
+            # keeps checkpoint resume (which restores both sides)
+            # consistent with no extra state.
+            delta = breaker.opened_total - opens.value(camera=camera_id)
+            if delta > 0:
+                opens.inc(delta, camera=camera_id)
+
+    # ------------------------------------------------------------------
     # Checkpoint support
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:

@@ -15,11 +15,21 @@ The observability substrate of the reproduction.  One
   decisions, battery threshold crossings, reliability give-ups, and
   every fault/recovery the fault subsystem logs.
 
+On top of the snapshot-at-exit dumps, the *live* layer streams the
+same state during a run: per-round flush records
+(``repro.stream.v1``) to pluggable sinks
+(:class:`~repro.telemetry.live.JsonlStreamSink`,
+:class:`~repro.telemetry.live.SubscriberSink`), threshold alert rules
+(:class:`~repro.telemetry.alerts.AlertEngine`) whose transitions land
+in the event log, and an HTTP ``/metrics`` + ``/status`` endpoint
+(:class:`~repro.telemetry.exporter.MetricsExporter`).
+
 All instrumentation is opt-in (``telemetry=None`` everywhere) and
 never touches a random stream, so telemetry-enabled and -disabled
 runs produce bit-identical simulation output.
 """
 
+from repro.telemetry.alerts import AlertEngine, AlertRule, AlertRuleError
 from repro.telemetry.core import (
     ACK_LATENCY_BUCKETS,
     BATTERY_THRESHOLDS,
@@ -27,6 +37,15 @@ from repro.telemetry.core import (
     Telemetry,
 )
 from repro.telemetry.events import EventLog, TelemetryEvent, fault_log_sink
+from repro.telemetry.exporter import MetricsExporter
+from repro.telemetry.live import (
+    STREAM_SCHEMA,
+    JsonlStreamSink,
+    SubscriberSink,
+    TelemetrySink,
+    check_stream_contiguous,
+    read_stream_records,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -38,18 +57,28 @@ from repro.telemetry.trace import Span, Tracer, TracingTimingReport
 
 __all__ = [
     "ACK_LATENCY_BUCKETS",
+    "AlertEngine",
+    "AlertRule",
+    "AlertRuleError",
     "BATTERY_THRESHOLDS",
     "Counter",
     "EventLog",
     "Gauge",
     "Histogram",
+    "JsonlStreamSink",
     "MetricError",
+    "MetricsExporter",
     "MetricsRegistry",
     "SCORE_BUCKETS",
+    "STREAM_SCHEMA",
     "Span",
+    "SubscriberSink",
     "Telemetry",
     "TelemetryEvent",
+    "TelemetrySink",
     "Tracer",
     "TracingTimingReport",
+    "check_stream_contiguous",
     "fault_log_sink",
+    "read_stream_records",
 ]

@@ -1,0 +1,217 @@
+"""Threshold alert rules over the live metrics registry.
+
+A rule is one comparison over a counter or gauge, written the way an
+operator would say it::
+
+    battery_fraction_remaining < 0.25
+    network_retransmissions_total > 100
+    fault_events_total{kind=breaker_open} > 3
+
+The optional ``{label=value, ...}`` selector restricts which series
+the rule watches; without one, every series of the metric is checked
+independently.  Rules are evaluated at each telemetry flush (a round
+boundary), and transitions — not states — become ``repro.event.v1``
+records: ``alert`` when a series first violates its rule,
+``alert_cleared`` when it stops.  That keeps the event stream quiet
+under a persistent condition while still surfacing every incident in
+the same place the resilience layer reports breaker trips and
+quarantines.
+
+Histograms are deliberately outside the expression language: a
+threshold over a distribution needs a quantile estimator, and the
+fixed-bucket series here would make that silently approximate.
+Rules naming a histogram raise at their first evaluation instead.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+_RULE_RE = re.compile(
+    r"^\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"\s*(?:\{(?P<labels>[^}]*)\})?"
+    r"\s*(?P<op><=|>=|<|>)"
+    r"\s*(?P<threshold>[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)\s*$"
+)
+
+_OPS = {
+    "<": lambda value, threshold: value < threshold,
+    "<=": lambda value, threshold: value <= threshold,
+    ">": lambda value, threshold: value > threshold,
+    ">=": lambda value, threshold: value >= threshold,
+}
+
+
+class AlertRuleError(ValueError):
+    """An alert expression does not parse or names a histogram."""
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One parsed threshold expression."""
+
+    metric: str
+    op: str
+    threshold: float
+    labels: tuple[tuple[str, str], ...] = ()
+    expression: str = ""
+
+    @classmethod
+    def parse(cls, expression: str) -> "AlertRule":
+        match = _RULE_RE.match(expression)
+        if match is None:
+            raise AlertRuleError(
+                f"cannot parse alert rule {expression!r}; expected "
+                "'metric_name[{label=value,...}] <op> threshold' with "
+                "op one of < <= > >="
+            )
+        labels: list[tuple[str, str]] = []
+        selector = match.group("labels")
+        if selector:
+            for pair in selector.split(","):
+                if "=" not in pair:
+                    raise AlertRuleError(
+                        f"bad label selector {pair!r} in {expression!r}"
+                    )
+                key, value = pair.split("=", 1)
+                labels.append((key.strip(), value.strip().strip('"')))
+        return cls(
+            metric=match.group("name"),
+            op=match.group("op"),
+            threshold=float(match.group("threshold")),
+            labels=tuple(sorted(labels)),
+            expression=expression.strip(),
+        )
+
+    def matches(self, series_labels: dict[str, str]) -> bool:
+        return all(
+            series_labels.get(key) == value for key, value in self.labels
+        )
+
+    def violated(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+
+@dataclass
+class AlertState:
+    """Firing/cleared bookkeeping for one (rule, series) pair."""
+
+    rule: AlertRule
+    series_labels: dict[str, str]
+    value: float
+    firing: bool = True
+
+    def to_detail(self) -> dict:
+        return {
+            "rule": self.rule.expression,
+            "metric": self.rule.metric,
+            "labels": dict(self.series_labels),
+            "value": self.value,
+            "threshold": self.rule.threshold,
+            "op": self.rule.op,
+        }
+
+
+@dataclass
+class AlertEngine:
+    """Evaluates a rule set against a registry, tracking transitions."""
+
+    rules: list[AlertRule] = field(default_factory=list)
+    _firing: dict[tuple[str, tuple[str, ...]], AlertState] = field(
+        default_factory=dict
+    )
+
+    def add(self, rule: "AlertRule | str") -> AlertRule:
+        if isinstance(rule, str):
+            rule = AlertRule.parse(rule)
+        self.rules.append(rule)
+        return rule
+
+    def _series_of(self, registry: MetricsRegistry, rule: AlertRule):
+        instrument = registry.get(rule.metric)
+        if instrument is None:
+            return
+        if isinstance(instrument, Histogram):
+            raise AlertRuleError(
+                f"alert rule {rule.expression!r} targets histogram "
+                f"{rule.metric!r}; rules only cover counters and gauges"
+            )
+        for key, value in instrument._values.items():
+            labels = dict(zip(instrument.label_names, key))
+            if rule.matches(labels):
+                yield key, labels, value
+
+    def evaluate(
+        self, registry: MetricsRegistry
+    ) -> tuple[list[AlertState], list[AlertState]]:
+        """One evaluation pass.
+
+        Returns ``(fired, cleared)``: states that newly violated their
+        rule this pass, and previously firing states that no longer do
+        (including series that disappeared from the registry).
+        """
+        fired: list[AlertState] = []
+        cleared: list[AlertState] = []
+        seen: set[tuple[str, tuple[str, ...]]] = set()
+        for rule in self.rules:
+            for key, labels, value in self._series_of(registry, rule):
+                state_key = (rule.expression, key)
+                seen.add(state_key)
+                if rule.violated(value):
+                    if state_key not in self._firing:
+                        state = AlertState(rule, labels, value)
+                        self._firing[state_key] = state
+                        fired.append(state)
+                    else:
+                        self._firing[state_key].value = value
+                elif state_key in self._firing:
+                    state = self._firing.pop(state_key)
+                    state.value = value
+                    state.firing = False
+                    cleared.append(state)
+        for state_key in [
+            k for k in self._firing if k not in seen
+        ]:
+            state = self._firing.pop(state_key)
+            state.firing = False
+            cleared.append(state)
+        return fired, cleared
+
+    @property
+    def active(self) -> list[AlertState]:
+        """Currently firing states, in a stable order."""
+        return [self._firing[key] for key in sorted(self._firing)]
+
+    # ------------------------------------------------------------------
+    # Checkpoint interop
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able firing state (rules travel in the run config)."""
+        return {
+            "firing": [
+                {
+                    "rule": state.rule.expression,
+                    "key": list(key[1]),
+                    "labels": dict(state.series_labels),
+                    "value": state.value,
+                }
+                for key, state in sorted(self._firing.items())
+            ]
+        }
+
+    def restore(self, data: dict) -> None:
+        """Adopt a :meth:`snapshot`, so a resumed run does not re-fire
+        alerts that were already active when the checkpoint was cut."""
+        by_expression = {rule.expression: rule for rule in self.rules}
+        self._firing = {}
+        for entry in data.get("firing", ()):
+            rule = by_expression.get(entry["rule"])
+            if rule is None:
+                continue  # the resumed run dropped this rule
+            key = (rule.expression, tuple(entry["key"]))
+            self._firing[key] = AlertState(
+                rule, dict(entry["labels"]), float(entry["value"])
+            )

@@ -16,12 +16,15 @@ on one vocabulary.
 
 from __future__ import annotations
 
+import threading
 import uuid
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.ioutils import atomic_write_text
+from repro.telemetry.alerts import AlertEngine, AlertRule
 from repro.telemetry.events import EventLog, fault_log_sink
+from repro.telemetry.live import TelemetrySink, build_stream_record
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.trace import Tracer, TracingTimingReport
 
@@ -66,6 +69,16 @@ class Telemetry:
         self._detection_frames = None
         self._detection_objects = None
         self._detection_scores = None
+        # Live streaming state: sinks/rules attach after construction,
+        # and everything below is untouched until they do, so a run
+        # without live observability pays nothing at flush points.
+        #: Serialises flushes against exporter scrapes.
+        self.lock = threading.Lock()
+        self._sinks: list[TelemetrySink] = []
+        self.alerts = AlertEngine()
+        self._flush_seq = 0
+        self._events_cursor = 0
+        self._status: dict = {}
 
     # ------------------------------------------------------------------
     # Convenience
@@ -168,6 +181,101 @@ class Telemetry:
             score_hist = self.detection_score_histogram()
             for det in detections:
                 score_hist.observe(det.score, algorithm=algorithm)
+
+    # ------------------------------------------------------------------
+    # Live streaming (see repro.telemetry.live)
+    # ------------------------------------------------------------------
+    def attach_sink(self, sink: TelemetrySink) -> TelemetrySink:
+        """Register a streaming sink; flushes start reaching it."""
+        self._sinks.append(sink)
+        return sink
+
+    def add_alert_rule(self, rule: "AlertRule | str") -> AlertRule:
+        """Register a threshold rule evaluated at every flush."""
+        return self.alerts.add(rule)
+
+    @property
+    def live_enabled(self) -> bool:
+        """Whether a flush does any work beyond the status update."""
+        return bool(self._sinks or self.alerts.rules)
+
+    def flush_round(self, round_index: int, time_s: float) -> dict | None:
+        """Fold the live state into one stream record at a round
+        boundary: evaluate alert rules, emit their transitions as
+        events, and hand the record to every sink.
+
+        Called by the engine after every completed round; with no
+        sinks and no rules only the (cheap) status page data is
+        refreshed, so always-on instrumentation stays within the
+        pinned overhead budget.  Returns the record, or ``None`` when
+        live streaming is off.
+        """
+        with self.lock:
+            self._status = {
+                "rounds_completed": round_index + 1,
+                "sim_time_s": time_s,
+            }
+            if not self.live_enabled:
+                return None
+            if self.alerts.rules:
+                fired, cleared = self.alerts.evaluate(self.registry)
+                for state in fired:
+                    self.events.emit(
+                        "alert", time_s=time_s, **state.to_detail()
+                    )
+                for state in cleared:
+                    self.events.emit(
+                        "alert_cleared", time_s=time_s, **state.to_detail()
+                    )
+            new_events = [
+                event.to_record()
+                for event in self.events.events[self._events_cursor:]
+            ]
+            self._events_cursor = len(self.events.events)
+            record = build_stream_record(
+                run_id=self.run_id,
+                seq=self._flush_seq,
+                round_index=round_index,
+                time_s=time_s,
+                metrics=self.registry.snapshot(),
+                events=new_events,
+                alerts=[s.to_detail() for s in self.alerts.active],
+            )
+            self._flush_seq += 1
+        for sink in self._sinks:
+            sink.emit(record)
+        return record
+
+    def prepare_resume(self, first_round: int) -> None:
+        """Stitch live state for a run resuming at ``first_round``.
+
+        Sinks drop the rounds the resumed run will flush again, and
+        the event cursor skips everything already in the log (restored
+        context, not new occurrences).
+        """
+        self._events_cursor = len(self.events.events)
+        for sink in self._sinks:
+            sink.on_resume(first_round)
+
+    def close_sinks(self) -> None:
+        """Close every attached sink (idempotent)."""
+        for sink in self._sinks:
+            sink.close()
+
+    def status_snapshot(self) -> dict:
+        """The ``/status`` page payload (caller holds :attr:`lock`)."""
+        active = self.alerts.active
+        return {
+            "schema": "repro.status.v1",
+            "run_id": self.run_id,
+            "rounds_completed": self._status.get("rounds_completed", 0),
+            "sim_time_s": self._status.get("sim_time_s", 0.0),
+            "flushes": self._flush_seq,
+            "metric_series": self.registry.series_count(),
+            "events_total": len(self.events),
+            "alerts_active": [state.to_detail() for state in active],
+            "alert_rules": [rule.expression for rule in self.alerts.rules],
+        }
 
     # ------------------------------------------------------------------
     # Output

@@ -113,7 +113,12 @@ def render_trace_report(records: list[dict]) -> str:
 
 
 def render_events_report(records: list[dict], limit: int = 40) -> str:
-    """Per-kind counts plus a bounded timeline."""
+    """Per-kind counts plus a bounded timeline.
+
+    The timeline shows the first ``limit`` events by time; truncation
+    is always announced with a trailing ``(+N more events)`` line so a
+    quiet tail is never mistaken for the end of the log.
+    """
     for i, record in enumerate(records):
         validate_event_record(record, where=f"events[{i}]")
     header = f"EVENTS — {len(records)} records"
@@ -124,8 +129,9 @@ def render_events_report(records: list[dict], limit: int = 40) -> str:
     for kind, count in sorted(by_kind.items()):
         lines.append(f"  {kind:<32} {count:>6}")
     if records:
+        truncated = max(0, len(records) - limit)
         lines.append("")
-        lines.append("timeline" + (f" (first {limit})" if len(records) > limit else ""))
+        lines.append("timeline" + (f" (first {limit})" if truncated else ""))
         for record in sorted(records, key=lambda r: r["time_s"])[:limit]:
             detail = ", ".join(
                 f"{k}={v}" for k, v in sorted(record["detail"].items())
@@ -134,6 +140,8 @@ def render_events_report(records: list[dict], limit: int = 40) -> str:
                 f"  t={record['time_s']:8.2f}s  {record['kind']:<24} "
                 f"{record['node_id']:<10} {detail}"
             )
+        if truncated:
+            lines.append(f"  (+{truncated} more events)")
     return "\n".join(lines) + "\n"
 
 
@@ -141,6 +149,7 @@ def render_files(
     metrics_path: str | Path | None = None,
     trace_path: str | Path | None = None,
     events_path: str | Path | None = None,
+    events_limit: int = 40,
 ) -> str:
     """Load and render whichever dump files were provided."""
     from repro.telemetry.schema import _load_jsonl
@@ -152,7 +161,9 @@ def render_files(
     if trace_path is not None:
         parts.append(render_trace_report(_load_jsonl(trace_path)))
     if events_path is not None:
-        parts.append(render_events_report(_load_jsonl(events_path)))
+        parts.append(
+            render_events_report(_load_jsonl(events_path), limit=events_limit)
+        )
     if not parts:
         raise ValueError(
             "nothing to render: pass at least one of "

@@ -44,7 +44,34 @@ record shape is unchanged):
   ``camera_recalibrated`` (recoveries), with controller
   ``reselected`` events recording the substitutions they trigger.
 
-A fourth versioned artefact, the crash-safe deployment checkpoint
+``--stream-out`` (JSONL, one ``repro.stream.v1`` record per completed
+round/tick, appended atomically *during* the run, fsynced at
+rotation and close)::
+
+    {"schema": "repro.stream.v1", "run_id": str,
+     "seq": int,              # flush counter, monotone
+     "round": int,            # completed round (run) / tick (chaos)
+     "time_s": float,         # simulated clock at the flush
+     "metrics": {...},        # cumulative repro.metrics.v1 snapshot
+     "events": [{...}, ...],  # repro.event.v1 records since the
+                              # previous flush
+     "alerts": [{...}, ...]}  # currently firing alert rules:
+                              # {"rule", "metric", "labels", "value",
+                              #  "threshold", "op"}
+
+A stitched stream (after any number of kill-and-resume cycles) has
+``round`` exactly ``0..N-1`` in file order;
+:func:`repro.telemetry.live.check_stream_contiguous` asserts that.
+The live HTTP exporter additionally serves a ``repro.status.v1`` JSON
+object on ``/status`` (same fields as
+:meth:`repro.telemetry.core.Telemetry.status_snapshot`); it is a
+point-in-time page, never written to disk.
+
+Alert-rule transitions reuse ``repro.event.v1`` with kinds ``alert``
+and ``alert_cleared``; ``detail`` carries the firing rule expression,
+metric, series labels, observed value, threshold and operator.
+
+A fifth versioned artefact, the crash-safe deployment checkpoint
 (``--checkpoint-dir``, ``repro.checkpoint.v1``), is documented here
 for completeness but owned by :mod:`repro.checkpoint.store` (telemetry
 sits below checkpointing in the layer contract, so the validator —
@@ -72,6 +99,7 @@ from pathlib import Path
 METRICS_SCHEMA = "repro.metrics.v1"
 SPAN_SCHEMA = "repro.span.v1"
 EVENT_SCHEMA = "repro.event.v1"
+STREAM_SCHEMA = "repro.stream.v1"
 
 
 class SchemaError(ValueError):
@@ -163,6 +191,34 @@ def validate_metrics_payload(payload: dict, where: str = "metrics") -> None:
                 _require(s, "value", (int, float), swhere)
 
 
+def validate_stream_record(record: dict, where: str = "stream") -> None:
+    if _require(record, "schema", str, where) != STREAM_SCHEMA:
+        raise SchemaError(f"{where}: schema is not {STREAM_SCHEMA!r}")
+    _require(record, "run_id", str, where)
+    seq = _require(record, "seq", int, where)
+    if seq < 0:
+        raise SchemaError(f"{where}: negative seq")
+    round_index = _require(record, "round", int, where)
+    if round_index < 0:
+        raise SchemaError(f"{where}: negative round")
+    _require(record, "time_s", (int, float), where)
+    validate_metrics_payload(
+        _require(record, "metrics", dict, where), where=f"{where}.metrics"
+    )
+    events = _require(record, "events", list, where)
+    for i, event in enumerate(events):
+        validate_event_record(event, where=f"{where}.events[{i}]")
+    alerts = _require(record, "alerts", list, where)
+    for i, alert in enumerate(alerts):
+        awhere = f"{where}.alerts[{i}]"
+        _require(alert, "rule", str, awhere)
+        _require(alert, "metric", str, awhere)
+        _require(alert, "labels", dict, awhere)
+        _require(alert, "value", (int, float), awhere)
+        _require(alert, "threshold", (int, float), awhere)
+        _require(alert, "op", str, awhere)
+
+
 def _load_jsonl(path: str | Path) -> list[dict]:
     records = []
     for lineno, line in enumerate(
@@ -198,6 +254,21 @@ def validate_events_file(path: str | Path) -> int:
     records = _load_jsonl(path)
     for i, record in enumerate(records):
         validate_event_record(record, where=f"{path}:{i + 1}")
+    return len(records)
+
+
+def validate_stream_file(path: str | Path) -> int:
+    """Validate a (possibly rotated) stream; returns the record count.
+
+    Reads through :func:`repro.telemetry.live.read_stream_records`,
+    so rotated parts are included and a torn trailing line — legal
+    mid-run — is ignored rather than flagged.
+    """
+    from repro.telemetry.live import read_stream_records
+
+    records = read_stream_records(path)
+    for i, record in enumerate(records):
+        validate_stream_record(record, where=f"{path}[{i}]")
     return len(records)
 
 

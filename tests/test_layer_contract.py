@@ -53,6 +53,15 @@ CONTRACTS = {
         "repro.cli",
         "repro.resilience",
     ),
+    # Offline analysis reads telemetry artifacts; it must run where
+    # the artifacts land, without dragging in the simulation core.
+    "repro.obs": (
+        "repro.engine",
+        "repro.experiments",
+        "repro.cli",
+        "repro.network",
+        "repro.resilience",
+    ),
     "repro.perf": ("repro.engine", "repro.experiments", "repro.cli"),
     # Checkpointing encodes values and stores documents; the engine
     # decides what its state is.  The engine imports checkpoint, never

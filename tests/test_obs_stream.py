@@ -1,0 +1,129 @@
+"""Kill-and-resume stream stitching through the CLI.
+
+A ``--stream-out`` file must come out of any number of crash/resume
+cycles as one coherent stream — monotone round indices, no duplicates,
+no gaps — indistinguishable in shape from an uninterrupted run's, and
+the simulation results must stay byte-identical to a clean run.
+"""
+
+import json
+
+from repro.cli import main
+from repro.telemetry import check_stream_contiguous, read_stream_records
+from repro.telemetry.schema import validate_stream_file
+
+
+def _comparable_metrics(record):
+    """The final cumulative snapshot minus wall-clock instruments.
+
+    ``detection_execute_seconds_total`` measures host wall time, the
+    one quantity that legitimately differs between a clean run and a
+    crash-plus-resume of the same deployment.
+    """
+    return [
+        entry
+        for entry in record["metrics"]["metrics"]
+        if not entry["name"].endswith("_seconds_total")
+    ]
+
+
+class TestRunStreamStitching:
+    BASE = [
+        "run", "--dataset", "1", "--mode", "full", "--seed", "7",
+        "--start", "1000", "--end", "1300",
+        "--recalibration-interval", "100",
+    ]
+
+    def test_crash_resume_stream_is_gap_free(self, capsys, tmp_path):
+        clean_result = tmp_path / "clean.json"
+        clean_stream = tmp_path / "clean.jsonl"
+        stitched_result = tmp_path / "stitched.json"
+        stitched_stream = tmp_path / "stitched.jsonl"
+        ckpt = tmp_path / "ckpt"
+
+        assert main(self.BASE + [
+            "--result-out", str(clean_result),
+            "--stream-out", str(clean_stream),
+        ]) == 0
+
+        assert main(self.BASE + [
+            "--checkpoint-dir", str(ckpt), "--crash-after", "1",
+            "--stream-out", str(stitched_stream),
+        ]) == 3
+        assert "interrupted" in capsys.readouterr().out
+        # the killed process flushed the rounds it completed
+        assert read_stream_records(stitched_stream)
+
+        assert main(self.BASE + [
+            "--checkpoint-dir", str(ckpt), "--resume",
+            "--result-out", str(stitched_result),
+            "--stream-out", str(stitched_stream),
+        ]) == 0
+
+        assert clean_result.read_bytes() == stitched_result.read_bytes()
+        clean = read_stream_records(clean_stream)
+        stitched = read_stream_records(stitched_stream)
+        check_stream_contiguous(clean)
+        check_stream_contiguous(stitched)
+        assert validate_stream_file(stitched_stream) == len(stitched)
+        assert len(stitched) == len(clean)
+        # everything deterministic in the final snapshot matches
+        assert _comparable_metrics(stitched[-1]) == _comparable_metrics(
+            clean[-1]
+        )
+
+    def test_fresh_run_replaces_previous_stream(self, capsys, tmp_path):
+        stream = tmp_path / "s.jsonl"
+        stream.write_text(
+            json.dumps({"schema": "repro.stream.v1", "seq": 99,
+                        "round": 99}) + "\n"
+        )
+        assert main(self.BASE + ["--stream-out", str(stream)]) == 0
+        records = read_stream_records(stream)
+        check_stream_contiguous(records)
+        assert all(r["round"] != 99 for r in records)
+
+
+class TestChaosStreamStitching:
+    BASE = [
+        "chaos", "--dataset", "1", "--seed", "7", "--frames", "10",
+        "--loss-rate", "0.2", "--crash", "1", "--resilience",
+    ]
+
+    def test_crash_resume_stream_is_gap_free(self, capsys, tmp_path):
+        clean_result = tmp_path / "clean.json"
+        clean_stream = tmp_path / "clean.jsonl"
+        stitched_result = tmp_path / "stitched.json"
+        stitched_stream = tmp_path / "stitched.jsonl"
+        ckpt = tmp_path / "ckpt"
+
+        assert main(self.BASE + [
+            "--result-out", str(clean_result),
+            "--stream-out", str(clean_stream),
+        ]) == 0
+
+        assert main(self.BASE + [
+            "--checkpoint-dir", str(ckpt), "--crash-after", "4",
+            "--stream-out", str(stitched_stream),
+        ]) == 3
+        assert "interrupted" in capsys.readouterr().out
+
+        assert main(self.BASE + [
+            "--checkpoint-dir", str(ckpt), "--resume",
+            "--result-out", str(stitched_result),
+            "--stream-out", str(stitched_stream),
+        ]) == 0
+
+        assert clean_result.read_bytes() == stitched_result.read_bytes()
+        clean = read_stream_records(clean_stream)
+        stitched = read_stream_records(stitched_stream)
+        check_stream_contiguous(clean)
+        check_stream_contiguous(stitched)
+        assert validate_stream_file(stitched_stream) == len(stitched)
+        assert len(stitched) == len(clean)
+        assert _comparable_metrics(stitched[-1]) == _comparable_metrics(
+            clean[-1]
+        )
+        # the resilience mirror rides along in the stream
+        names = {m["name"] for m in stitched[-1]["metrics"]["metrics"]}
+        assert "camera_health" in names
