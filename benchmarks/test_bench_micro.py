@@ -7,11 +7,14 @@ computes per training-item comparison), detector scoring, and
 cross-camera grouping.
 """
 
-import time
-
 import numpy as np
 import pytest
 
+from benchmarks._bench_util import (
+    assert_overhead_within,
+    interleaved_best,
+    timed,
+)
 from repro.detection.detectors import make_detector
 from repro.domain_adaptation.similarity import video_similarity
 from repro.reid.matcher import CrossCameraMatcher
@@ -107,16 +110,19 @@ def test_telemetry_overhead_under_five_percent(runner_ds1):
             telemetry=telemetry,
         )
         runner.library = runner_ds1.library
-        start = time.perf_counter()
-        runner.run(mode="full", budget=2.0, start=1000, end=2000)
-        return time.perf_counter() - start
+        elapsed, _ = timed(
+            runner.run, mode="full", budget=2.0, start=1000, end=2000
+        )
+        return elapsed
 
     timed_run(None)  # warm caches before measuring
-    plain, instrumented = [], []
-    for _ in range(5):
-        plain.append(timed_run(None))
-        instrumented.append(timed_run(Telemetry(run_id="bench")))
-    assert min(instrumented) <= min(plain) * 1.05, (
-        f"telemetry overhead {min(instrumented) / min(plain) - 1:.1%} "
-        "exceeds the 5% budget"
+    # One run is ~40ms, timer-noise scale, so min-of-15 (still <1.5s
+    # total) rather than the min-of-5 the longer benchmarks use.
+    best_plain, best_instrumented = interleaved_best(
+        15,
+        lambda: timed_run(None),
+        lambda: timed_run(Telemetry(run_id="bench")),
+    )
+    assert_overhead_within(
+        best_instrumented, best_plain, 0.05, "telemetry instrumentation"
     )

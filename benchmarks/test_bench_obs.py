@@ -12,19 +12,23 @@ recipe in EXPERIMENTS.md.
 from __future__ import annotations
 
 import json
-import os
-import time
 from pathlib import Path
 
 import pytest
 
+from benchmarks._bench_util import (
+    assert_overhead_within,
+    env_float,
+    interleaved_best,
+    timed,
+)
 from repro.engine.spec import DeploymentSpec
 from repro.telemetry import JsonlStreamSink, Telemetry
 
 START, END = 1000, 2800
 # Measured well under 2% on an unloaded box; 5% is the acceptance
 # budget with headroom for shared-CI noise.
-OBS_OVERHEAD_BUDGET = float(os.environ.get("OBS_OVERHEAD_BUDGET", "0.05"))
+OBS_OVERHEAD_BUDGET = env_float("OBS_OVERHEAD_BUDGET", 0.05)
 
 
 def _spec(workers: int = 1, executor: str | None = None) -> DeploymentSpec:
@@ -41,9 +45,7 @@ def _spec(workers: int = 1, executor: str | None = None) -> DeploymentSpec:
 
 def _timed_run(spec: DeploymentSpec, telemetry: Telemetry) -> float:
     engine = spec.build_engine(telemetry=telemetry)
-    start = time.perf_counter()
-    spec.execute(engine=engine)
-    elapsed = time.perf_counter() - start
+    elapsed, _ = timed(spec.execute, engine=engine)
     engine.close()
     return elapsed
 
@@ -55,20 +57,32 @@ def _live_telemetry(tmp_path: Path) -> Telemetry:
     return telemetry
 
 
+def _overhead_thunks(spec: DeploymentSpec, tmp_path: Path):
+    """The two interleaved variants: instrumented-only vs live."""
+
+    def plain() -> float:
+        return _timed_run(spec, Telemetry(run_id="bench-plain"))
+
+    def live() -> float:
+        telemetry = _live_telemetry(tmp_path)
+        try:
+            return _timed_run(spec, telemetry)
+        finally:
+            telemetry.close_sinks()
+
+    return plain, live
+
+
 def test_live_flush_overhead_under_budget(tmp_path):
     """Interleaved min-of-N on the serial backend: instrumented run
     with a live sink + alert rule vs instrumented run without."""
     spec = _spec()
     _timed_run(spec, Telemetry(run_id="warm"))  # warm caches
-    plain, live = [], []
-    for _ in range(5):
-        plain.append(_timed_run(spec, Telemetry(run_id="bench-plain")))
-        telemetry = _live_telemetry(tmp_path)
-        live.append(_timed_run(spec, telemetry))
-        telemetry.close_sinks()
-    assert min(live) <= min(plain) * (1.0 + OBS_OVERHEAD_BUDGET), (
-        f"live streaming overhead {min(live) / min(plain) - 1:.1%} "
-        f"exceeds the {OBS_OVERHEAD_BUDGET:.0%} budget"
+    best_plain, best_live = interleaved_best(
+        5, *_overhead_thunks(spec, tmp_path)
+    )
+    assert_overhead_within(
+        best_live, best_plain, OBS_OVERHEAD_BUDGET, "live streaming"
     )
 
 
@@ -78,15 +92,11 @@ def test_live_flush_overhead_parallel_backends(tmp_path, workers, executor):
     not change the overhead story; best-of-3 keeps this cheap."""
     spec = _spec(workers=workers, executor=executor)
     _timed_run(spec, Telemetry(run_id="warm"))
-    plain, live = [], []
-    for _ in range(3):
-        plain.append(_timed_run(spec, Telemetry(run_id="bench-plain")))
-        telemetry = _live_telemetry(tmp_path)
-        live.append(_timed_run(spec, telemetry))
-        telemetry.close_sinks()
-    assert min(live) <= min(plain) * (1.0 + OBS_OVERHEAD_BUDGET), (
-        f"{executor}: live overhead {min(live) / min(plain) - 1:.1%} "
-        f"exceeds the {OBS_OVERHEAD_BUDGET:.0%} budget"
+    best_plain, best_live = interleaved_best(
+        3, *_overhead_thunks(spec, tmp_path)
+    )
+    assert_overhead_within(
+        best_live, best_plain, OBS_OVERHEAD_BUDGET, f"{executor} live"
     )
 
 

@@ -20,13 +20,12 @@ Regenerate BENCH_scale.json with the recipe in EXPERIMENTS.md.
 from __future__ import annotations
 
 import json
-import os
-import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+from benchmarks._bench_util import assert_floor, env_float, timed
 from repro.datasets.synthetic import make_scaled_dataset
 from repro.detection.base import Detection
 from repro.engine.context import DeploymentContext
@@ -38,9 +37,9 @@ NUM_CAMERAS = 16
 START, END = 1000, 1500
 # Measured ~5x on an unloaded box; 3x leaves headroom for CI noise
 # while still failing if the batched path regresses toward the seed.
-SCALE_MIN_SPEEDUP = float(os.environ.get("SCALE_MIN_SPEEDUP", "3.0"))
+SCALE_MIN_SPEEDUP = env_float("SCALE_MIN_SPEEDUP", 3.0)
 # Seed throughput at 16 cameras was ~2.2 rounds/sec.
-SCALE_RPS_FLOOR = float(os.environ.get("SCALE_RPS_FLOOR", "2.5"))
+SCALE_RPS_FLOOR = env_float("SCALE_RPS_FLOOR", 2.5)
 
 
 class ReferencePathExecutor(DetectionExecutor):
@@ -73,9 +72,9 @@ def scale_context():
 
 def _run_once(context, executor=None) -> tuple[float, object]:
     engine = DeploymentEngine(context, seed=2017, executor=executor)
-    start = time.perf_counter()
-    result = engine.run("full", budget=2.0, start=START, end=END)
-    elapsed = time.perf_counter() - start
+    elapsed, result = timed(
+        engine.run, "full", budget=2.0, start=START, end=END
+    )
     engine.close()
     return elapsed, result
 
@@ -109,14 +108,12 @@ def test_batched_serial_beats_reference_path(scale_context, monkeypatch):
 
 def test_serial_throughput_floor(scale_context):
     """Absolute rounds/sec floor at 16 cameras (best-of-5)."""
-    best = float("inf")
-    for _ in range(5):
-        elapsed, _ = _run_once(scale_context)
-        best = min(best, elapsed)
-    rps = 1.0 / best
-    assert rps >= SCALE_RPS_FLOOR, (
-        f"16-camera serial throughput {rps:.2f} rounds/sec is below the "
-        f"floor {SCALE_RPS_FLOOR} (window {START}..{END})"
+    best = min(_run_once(scale_context)[0] for _ in range(5))
+    assert_floor(
+        1.0 / best,
+        SCALE_RPS_FLOOR,
+        f"16-camera serial rounds/sec (window {START}..{END}, "
+        "SCALE_RPS_FLOOR)",
     )
 
 

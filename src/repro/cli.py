@@ -399,6 +399,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         executor=args.executor,
         resilience=_make_resilience_config(args),
+        fleet_cameras=args.fleet_cameras,
+        cells=args.cells,
     )
     checkpoint_config = _make_checkpoint_config(args)
     checkpointer = (
@@ -749,6 +751,20 @@ def build_parser() -> argparse.ArgumentParser:
         "frames zero-copy from shared memory); default picks serial "
         "for --workers 1, pool otherwise — every backend is "
         "bit-identical",
+    )
+    p.add_argument(
+        "--fleet-cameras",
+        type=int,
+        default=None,
+        help="tile the dataset into a synthetic fleet of N cameras "
+        "(training cost does not grow with fleet size)",
+    )
+    p.add_argument(
+        "--cells",
+        type=int,
+        default=None,
+        help="shard the fleet into N cells for the 'cell' policy "
+        "(default: one fleet-wide cell); flat policies ignore it",
     )
     p.add_argument(
         "--perf-report",

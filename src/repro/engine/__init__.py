@@ -33,6 +33,13 @@ from repro.engine.context import (
     shared_context,
 )
 from repro.engine.core import DeploymentEngine, RunResult
+from repro.engine.fleet import (
+    CellPolicy,
+    FullCellPolicy,
+    PeerPolicy,
+    clear_fleet_contexts,
+    fleet_context,
+)
 from repro.engine.environment import (
     Environment,
     FaultInjectedEnvironment,
@@ -66,6 +73,7 @@ from repro.engine.spec import DeploymentSpec
 
 __all__ = [
     "AllBestPolicy",
+    "CellPolicy",
     "CoordinationPolicy",
     "DeploymentContext",
     "DeploymentEngine",
@@ -75,8 +83,10 @@ __all__ = [
     "Environment",
     "FaultInjectedEnvironment",
     "FixedAssignmentPolicy",
+    "FullCellPolicy",
     "FullEECSPolicy",
     "IdealEnvironment",
+    "PeerPolicy",
     "NetworkConditions",
     "NetworkOutcome",
     "ProcessPoolDetectionExecutor",
@@ -88,7 +98,9 @@ __all__ = [
     "SimulationClock",
     "SubsetPolicy",
     "available_policies",
+    "clear_fleet_contexts",
     "clear_shared_contexts",
+    "fleet_context",
     "make_executor",
     "register_policy",
     "resolve_policy",

@@ -70,6 +70,7 @@ from repro.engine.context import DeploymentContext
 from repro.engine.executor import DetectionExecutor, make_executor
 from repro.engine.policy import CoordinationPolicy, resolve_policy
 from repro.faults.events import FaultLog
+from repro.fleet.cells import CellLayout, normalize_cells
 from repro.perf.timing import TimingReport
 from repro.resilience.ladder import (
     ResilienceConfig,
@@ -81,6 +82,7 @@ from repro.telemetry.trace import TracingTimingReport
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.checkpoint.hooks import RunCheckpointer
     from repro.engine.environment import Environment
+    from repro.fleet.runtime import FleetRuntime
     from repro.telemetry.core import Telemetry
 
 
@@ -174,6 +176,15 @@ class DeploymentEngine:
         # Per-run resilience coordinator (None = layer off, the inert
         # default); assigned at run start, cleared when the run ends.
         self._resilience: ResilienceCoordinator | None = None
+        # Per-run fleet runtime (cell controllers + budget
+        # coordinator), attached by fleet-aware policies during
+        # plan_rounds and cleared when the run ends.  The engine loop
+        # never branches on it beyond mirroring camera-mode
+        # transitions and folding its state into checkpoints.
+        self._fleet: "FleetRuntime | None" = None
+        # The run's requested cell layout (normalised in run()); None
+        # for flat policies that ignore cells.
+        self.cell_layout: CellLayout | None = None
 
         self.controller = self.build_controller(
             telemetry=telemetry,
@@ -209,12 +220,15 @@ class DeploymentEngine:
         telemetry: "Telemetry | None" = None,
         now_fn: Callable[[], float] | None = None,
         battery_factory: Callable[[str], Battery] | None = None,
+        camera_ids: list[str] | None = None,
     ) -> EECSController:
         """A fresh controller with every camera registered.
 
-        Used for the engine's own in-process controller and by the
-        networked environment, which provisions an independent
-        controller per deployment so shared engines stay pristine.
+        Used for the engine's own in-process controller, by the
+        networked environment (which provisions an independent
+        controller per deployment so shared engines stay pristine),
+        and by the fleet runtime, which passes ``camera_ids`` to scope
+        a controller to one cell's cameras.
         """
         controller = EECSController(
             self.config, self.library, self.matcher, telemetry=telemetry
@@ -222,7 +236,9 @@ class DeploymentEngine:
         if now_fn is not None:
             controller.now_fn = now_fn
         env = self.dataset.environment
-        for camera_id in self.dataset.camera_ids:
+        if camera_ids is None:
+            camera_ids = self.dataset.camera_ids
+        for camera_id in camera_ids:
             battery = (
                 battery_factory(camera_id) if battery_factory else Battery()
             )
@@ -503,6 +519,26 @@ class DeploymentEngine:
             probabilities.extend(probs)
         return detected_total, present_total, probabilities
 
+    # ------------------------------------------------------------------
+    # Fleet seam
+    # ------------------------------------------------------------------
+    def attach_fleet(self, runtime: "FleetRuntime") -> None:
+        """Adopt a fleet runtime for the duration of the current run.
+
+        Called by cell-aware policies from ``plan_rounds``.  The
+        engine loop stays policy-agnostic: it only mirrors camera-mode
+        transitions into the runtime (so the resilience ladder reaches
+        cell controllers) and folds its state into checkpoints.
+        """
+        self._fleet = runtime
+
+    def _set_camera_mode(self, camera_id: str, mode: str) -> None:
+        """Apply a mode transition to the engine controller and, when
+        a fleet runtime is attached, to the owning cell controller."""
+        self.controller.set_camera_mode(camera_id, mode)
+        if self._fleet is not None:
+            self._fleet.set_camera_mode(camera_id, mode)
+
     def all_best_assignment(self, budget: float | None) -> dict[str, str]:
         """Every camera on its most accurate affordable algorithm."""
         assignment = {}
@@ -527,6 +563,7 @@ class DeploymentEngine:
         workers: int | None = None,
         checkpointer: "RunCheckpointer | None" = None,
         resilience: ResilienceConfig | None = None,
+        cells: int | tuple | list | None = None,
     ) -> RunResult:
         """Simulate a deployment over the dataset's test segment.
 
@@ -562,9 +599,18 @@ class DeploymentEngine:
                 the thresholds tightened enough to force them, apply
                 to the controller exactly as in the networked
                 environment.
+            cells: Fleet cell layout for cell-aware policies: a cell
+                count, an explicit tuple of camera-id tuples, or
+                ``None`` (flat policies ignore it; the ``cell`` policy
+                defaults to one cell spanning the fleet).
         """
         policy = resolve_policy(policy)
         policy.validate(assignment)
+        self.cell_layout = (
+            normalize_cells(cells, self.dataset.camera_ids)
+            if cells is not None
+            else None
+        )
         run_executor: DetectionExecutor | None = None
         if workers is not None:
             # Per-run override owns its backend: closed when the run
@@ -580,7 +626,7 @@ class DeploymentEngine:
         # its (frame, camera, algorithm) coordinates.
         self._run_entropy = (
             self._seed,
-            sum(policy.name.encode()),
+            policy.entropy_token(),
             0 if start is None else start,
             0 if budget is None else int(budget * 1000),
         )
@@ -611,28 +657,30 @@ class DeploymentEngine:
         # Every run starts with a fully admitted fleet; a prior run's
         # ladder decisions must not leak through the shared controller.
         for camera_id in self.dataset.camera_ids:
-            self.controller.set_camera_mode(camera_id, CAMERA_ACTIVE)
+            self._set_camera_mode(camera_id, CAMERA_ACTIVE)
 
         first_round = 0
         if checkpointer is not None:
-            resume_state = checkpointer.begin(
-                "run",
-                {
-                    "dataset": spec.name,
-                    "policy": policy.name,
-                    "seed": self._seed,
-                    "budget": budget,
-                    "start": start,
-                    "end": end,
-                    "assignment": assignment,
-                    "num_rounds": len(rounds),
-                    "cameras": list(self.dataset.camera_ids),
-                    "resilience": (
-                        resilience.to_dict() if resilience is not None
-                        else None
-                    ),
-                },
-            )
+            metadata = {
+                "dataset": spec.name,
+                "policy": policy.name,
+                "seed": self._seed,
+                "budget": budget,
+                "start": start,
+                "end": end,
+                "assignment": assignment,
+                "num_rounds": len(rounds),
+                "cameras": list(self.dataset.camera_ids),
+                "resilience": (
+                    resilience.to_dict() if resilience is not None
+                    else None
+                ),
+            }
+            if self.cell_layout is not None:
+                # Only present for cell-aware runs so pre-fleet
+                # checkpoint fingerprints are unchanged.
+                metadata["cells"] = self.cell_layout.to_dict()
+            resume_state = checkpointer.begin("run", metadata)
             if resume_state is not None:
                 (
                     first_round,
@@ -684,7 +732,7 @@ class DeploymentEngine:
                     for transition in self._resilience.evaluate(
                         self.clock.now_s
                     ):
-                        self.controller.set_camera_mode(
+                        self._set_camera_mode(
                             transition.camera_id, transition.new_mode
                         )
                 if self.telemetry is not None:
@@ -722,6 +770,7 @@ class DeploymentEngine:
                 run_executor.close()
                 self._active_executor = self.executor
             self._resilience = None
+            self._fleet = None
 
         if self.telemetry is not None:
             self._record_run_metrics(
@@ -781,7 +830,7 @@ class DeploymentEngine:
                 )
             with self.timing.section("selection"):
                 decision = policy.select(
-                    self, assessment, budget_overrides
+                    self, assessment, budget_overrides, meter
                 )
 
             detected_total = 0
@@ -848,6 +897,8 @@ class DeploymentEngine:
         }
         if self._resilience is not None:
             state["resilience"] = self._resilience.snapshot()
+        if self._fleet is not None:
+            state["fleet"] = self._fleet.snapshot()
         if self.telemetry is not None:
             state["metrics"] = self.telemetry.registry.snapshot()
             state["live"] = live_telemetry_to_dict(self.telemetry)
@@ -870,6 +921,8 @@ class DeploymentEngine:
         restore_controller_state(self.controller, state["controller"])
         if self._resilience is not None and state.get("resilience"):
             self._resilience.restore(state["resilience"])
+        if self._fleet is not None and state.get("fleet"):
+            self._fleet.restore(state["fleet"])
         if self.telemetry is not None and state.get("metrics"):
             self.telemetry.registry.merge(state["metrics"])
         if self.telemetry is not None and state.get("live"):

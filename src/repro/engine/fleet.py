@@ -1,0 +1,273 @@
+"""Fleet-scale policies and the fleet deployment context.
+
+Two coordination strategies for fleets the flat protocol does not
+scale to, both registered as ordinary
+:class:`~repro.engine.policy.CoordinationPolicy` entries (the engine
+loop never branches on either):
+
+* ``cell`` — the fleet is sharded into cells, each running the
+  existing greedy selection under a local controller, beneath a
+  top-level :class:`~repro.fleet.coordinator.BudgetCoordinator` that
+  re-allocates per-cell budget scales every re-calibration interval.
+  With one cell the hierarchy collapses to flat ``subset`` bit for
+  bit, which is why the policy aliases ``subset``'s entropy stream.
+* ``peer`` — no controller at all: cameras negotiate activation
+  among themselves over the network layer
+  (:func:`~repro.fleet.peer.negotiate_activation`), and the decision
+  is assembled from the surviving claims.
+
+:func:`fleet_context` is the fleet analogue of
+:func:`~repro.engine.context.shared_context`: it tiles the trained
+4-camera substrate into a 50/200/1000-camera world without retraining
+(profiles and frame images are shared with the base scene).
+"""
+
+from __future__ import annotations
+
+from repro.core.accuracy import DesiredAccuracy
+from repro.core.config import EECSConfig
+from repro.core.controller import CAMERA_QUARANTINED, SelectionDecision
+from repro.engine.context import DeploymentContext, shared_context
+from repro.engine.policy import (
+    CoordinationPolicy,
+    RoundPlan,
+    register_policy,
+)
+from repro.fleet.cells import normalize_cells
+from repro.fleet.peer import negotiate_activation
+from repro.fleet.runtime import FleetRuntime
+from repro.fleet.world import TiledFleetDataset, tile_training_library
+from repro.perf.timing import TimingReport
+from repro.reid.matcher import CrossCameraMatcher
+
+
+def _chunk_rounds(engine, records) -> list[RoundPlan]:
+    """The assessing policies' round schedule (same chunking as
+    ``subset``: one assessment period per re-calibration interval)."""
+    per_round = engine.gt_frames_per_round
+    per_assessment = engine.gt_frames_per_assessment
+    return [
+        RoundPlan(
+            records=records[start : start + per_round],
+            assess_count=per_assessment,
+        )
+        for start in range(0, len(records), per_round)
+    ]
+
+
+@register_policy
+class CellPolicy(CoordinationPolicy):
+    """Sharded cells under a hierarchical budget coordinator.
+
+    ``plan_rounds`` builds the per-run
+    :class:`~repro.fleet.runtime.FleetRuntime` — one scoped controller
+    per cell from the engine's layout (``run(cells=...)``; defaults to
+    a single fleet-wide cell) — and attaches it to the engine;
+    ``select`` delegates the whole hierarchical round to it.
+    """
+
+    name = "cell"
+    #: One cell *is* flat subset selection — same controllers, same
+    #: greedy pipeline — so it must draw the same detection rng.
+    entropy_alias = "subset"
+    enable_downgrade = False
+
+    def plan_rounds(self, engine, records, budget, assignment):
+        layout = engine.cell_layout
+        if layout is None:
+            layout = normalize_cells(None, engine.dataset.camera_ids)
+            engine.cell_layout = layout
+        now_fn = lambda: engine.clock.now_s  # noqa: E731
+        runtime = FleetRuntime(
+            layout,
+            controller_factory=lambda camera_ids: engine.build_controller(
+                telemetry=engine.telemetry,
+                now_fn=now_fn if engine.telemetry else None,
+                camera_ids=camera_ids,
+            ),
+            enable_downgrade=self.enable_downgrade,
+            telemetry=engine.telemetry,
+            now_fn=now_fn,
+        )
+        engine.attach_fleet(runtime)
+        return _chunk_rounds(engine, records)
+
+    def select(self, engine, assessment, budget_overrides, meter=None):
+        return engine._fleet.select_round(
+            assessment, budget_overrides, meter
+        )
+
+
+@register_policy
+class FullCellPolicy(CellPolicy):
+    """Cells with algorithm downgrade inside each cell (the fleet
+    analogue of the ``full`` policy)."""
+
+    name = "cell_full"
+    entropy_alias = "full"
+    enable_downgrade = True
+
+
+@register_policy
+class PeerPolicy(CoordinationPolicy):
+    """Decentralised activation: cameras negotiate, nobody decides.
+
+    Each serviceable camera derives its own utility (its standalone
+    accuracy proxy on the assessment) and the fleet settles which
+    cameras stay active by peer negotiation over the network layer —
+    radio Joules land in the run's meter.  The decision mirrors the
+    centralised shape (baseline, gamma-scaled desired floor, achieved
+    accuracy of the surviving set) so downstream accounting and
+    checkpoint codecs apply unchanged.
+    """
+
+    name = "peer"
+    enable_downgrade = False
+
+    def plan_rounds(self, engine, records, budget, assignment):
+        return _chunk_rounds(engine, records)
+
+    def select(self, engine, assessment, budget_overrides, meter=None):
+        controller = engine.controller
+        overrides = budget_overrides or {}
+        plans: dict[str, str] = {}
+        for camera_id in controller.camera_ids:
+            state = controller.camera(camera_id)
+            if not state.alive or state.mode == CAMERA_QUARANTINED:
+                continue
+            plan = controller.camera_plan(camera_id, overrides.get(camera_id))
+            if plan is None:
+                continue
+            available = set(assessment.algorithms_for(camera_id))
+            algorithm = plan.best_algorithm
+            if algorithm not in available:
+                candidates = [
+                    p
+                    for p in plan.item.profiles.values()
+                    if p.algorithm in available
+                    and p.energy_per_frame + plan.communication_cost
+                    <= plan.budget
+                ]
+                if not candidates:
+                    continue
+                algorithm = max(
+                    candidates, key=lambda p: p.f_score
+                ).algorithm
+            plans[camera_id] = algorithm
+        if not plans:
+            raise RuntimeError(
+                "no camera has an affordable algorithm within budget"
+            )
+
+        selection = controller.engine
+        utilities = {
+            camera_id: selection.individual_accuracy(
+                assessment, camera_id, algorithm
+            )
+            for camera_id, algorithm in plans.items()
+        }
+        outcome = negotiate_activation(
+            list(plans), utilities, telemetry=engine.telemetry
+        )
+        if meter is not None:
+            for camera_id, joules in outcome.energy_by_camera.items():
+                meter.record_communication(camera_id, joules)
+
+        assignment = {
+            camera_id: algorithm
+            for camera_id, algorithm in plans.items()
+            if outcome.active[camera_id]
+        }
+        baseline = selection.global_accuracy(assessment, plans)
+        achieved = selection.global_accuracy(assessment, assignment)
+        desired = DesiredAccuracy.from_baseline(
+            baseline, engine.config.gamma_n, engine.config.gamma_p
+        )
+        ranked = sorted(
+            plans,
+            key=lambda camera_id: (utilities[camera_id], camera_id),
+            reverse=True,
+        )
+        if engine.telemetry is not None:
+            registry = engine.telemetry.registry
+            registry.counter(
+                "peer_negotiation_claims_total",
+                "Peer activation claims transmitted.",
+            ).inc(outcome.claims_sent)
+            registry.counter(
+                "peer_negotiation_rounds_total",
+                "Peer negotiation rounds run.",
+            ).inc(outcome.rounds)
+            registry.counter(
+                "peer_negotiation_joules_total",
+                "Radio Joules spent on peer negotiation.",
+            ).inc(sum(outcome.energy_by_camera.values()))
+            registry.gauge(
+                "peer_active_cameras",
+                "Cameras left active by the latest negotiation.",
+            ).set(len(assignment))
+        return SelectionDecision(
+            assignment=assignment,
+            baseline=baseline,
+            desired=desired,
+            achieved=achieved,
+            ranked_camera_ids=ranked,
+        )
+
+
+# ----------------------------------------------------------------------
+# Fleet deployment contexts
+# ----------------------------------------------------------------------
+_FLEET_CONTEXTS: dict[tuple, DeploymentContext] = {}
+
+
+def fleet_context(
+    num_cameras: int,
+    base_number: int = 1,
+    config: EECSConfig | None = None,
+    train_seed: int | None = None,
+    timing: TimingReport | None = None,
+) -> DeploymentContext:
+    """A trained fleet-scale context tiled from a base dataset.
+
+    Trains (or reuses) the base :func:`shared_context`, then tiles its
+    scene into a :class:`~repro.fleet.world.TiledFleetDataset` of
+    ``num_cameras`` cameras: the training library aliases the base
+    per-camera profiles and the matcher composes each tile's ground
+    translation onto the base homographies, so a 1000-camera context
+    costs the same offline training as a 4-camera one.
+    """
+    key = (num_cameras, base_number, train_seed, config)
+    if key not in _FLEET_CONTEXTS:
+        base = shared_context(
+            base_number, config=config, train_seed=train_seed, timing=timing
+        )
+        dataset = TiledFleetDataset(base.dataset, num_cameras)
+        library = tile_training_library(
+            base.library,
+            {
+                camera_id: f"T-{dataset.base_camera_of(camera_id)}"
+                for camera_id in dataset.camera_ids
+            },
+        )
+        matcher = CrossCameraMatcher(
+            image_to_ground=dataset.ground_homographies(),
+            ground_radius=base.config.ground_radius_m,
+            color_metric=base.matcher.color_metric,
+            color_threshold=base.config.color_threshold,
+            use_color=base.matcher.use_color,
+        )
+        _FLEET_CONTEXTS[key] = DeploymentContext(
+            dataset=dataset,
+            config=base.config,
+            detectors=base.detectors,
+            library=library,
+            matcher=matcher,
+            energy_model=base.energy_model,
+        )
+    return _FLEET_CONTEXTS[key]
+
+
+def clear_fleet_contexts() -> None:
+    """Testing hook: drop every cached fleet context."""
+    _FLEET_CONTEXTS.clear()

@@ -24,6 +24,7 @@ from repro.core.controller import SelectionDecision
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.selection import AssessmentData
     from repro.datasets.base import FrameRecord
+    from repro.energy.meter import EnergyMeter
     from repro.engine.core import DeploymentEngine
 
 
@@ -49,15 +50,28 @@ class RoundPlan:
 class CoordinationPolicy(ABC):
     """Strategy for scheduling assessment and choosing assignments."""
 
-    #: Registry key; also feeds the run entropy and ``RunResult.mode``,
-    #: so renaming a policy changes its rng stream.
+    #: Registry key; also feeds the run entropy (via
+    #: :meth:`entropy_token`) and ``RunResult.mode``, so renaming a
+    #: policy changes its rng stream.
     name: ClassVar[str]
+
+    #: Policy whose rng stream this one shares; ``None`` means the
+    #: policy has its own stream keyed by :attr:`name`.  A policy that
+    #: must reproduce another policy's detections exactly — the
+    #: hierarchical ``cell`` policy collapses to flat ``subset`` at one
+    #: cell — aliases that policy's entropy instead of forking a new
+    #: stream.
+    entropy_alias: ClassVar[str | None] = None
 
     #: Whether :meth:`plan_rounds` needs a caller-supplied assignment.
     requires_assignment: ClassVar[bool] = False
 
     #: Whether selection may downgrade algorithms (Section IV-B.4).
     enable_downgrade: ClassVar[bool] = False
+
+    def entropy_token(self) -> int:
+        """The policy's contribution to the run entropy."""
+        return sum((self.entropy_alias or self.name).encode())
 
     def validate(self, assignment: dict[str, str] | None) -> None:
         """Reject configurations the policy cannot run."""
@@ -81,8 +95,15 @@ class CoordinationPolicy(ABC):
         engine: "DeploymentEngine",
         assessment: "AssessmentData",
         budget_overrides: dict[str, float] | None,
+        meter: "EnergyMeter | None" = None,
     ) -> SelectionDecision:
-        """Turn assessment metadata into the round's assignment."""
+        """Turn assessment metadata into the round's assignment.
+
+        ``meter`` is the run's energy meter: policies whose selection
+        itself costs radio energy (cell-coordinator messaging, peer
+        negotiation) charge it here; the paper's centralised policies
+        ignore it.
+        """
         raise NotImplementedError(
             f"policy {self.name!r} does not assess"
         )  # pragma: no cover - non-assessing policies plan assess_count=0
@@ -175,7 +196,7 @@ class SubsetPolicy(CoordinationPolicy):
             for start in range(0, len(records), per_round)
         ]
 
-    def select(self, engine, assessment, budget_overrides):
+    def select(self, engine, assessment, budget_overrides, meter=None):
         return engine.controller.select(
             assessment,
             enable_subset=True,

@@ -19,10 +19,13 @@ from dataclasses import dataclass
 
 from repro.checkpoint.hooks import CheckpointConfig, RunCheckpointer
 from repro.core.config import EECSConfig
+from repro.datasets.synthetic import DATASET_SPECS
 from repro.engine.context import shared_context
 from repro.engine.core import DeploymentEngine, RunResult
 from repro.engine.executor import make_executor, validate_executor_name
+from repro.engine.fleet import fleet_context
 from repro.engine.policy import resolve_policy
+from repro.fleet.cells import validate_cells_value
 from repro.perf.timing import TimingReport
 from repro.resilience.ladder import ResilienceConfig
 
@@ -61,6 +64,15 @@ class DeploymentSpec:
             feed the layer is provably inert — results are identical
             either way — but enabling it here keeps one spec valid for
             both execution environments.
+        fleet_cameras: Tile the trained dataset into a synthetic fleet
+            of this many cameras (``None`` = the dataset's own
+            cameras).  Training cost does not grow with fleet size —
+            tiles alias the base profiles.
+        cells: Fleet cell layout for cell-aware policies: a cell
+            count, or an explicit tuple of camera-id tuples (kept as
+            tuples so the spec stays hashable).  ``None`` lets the
+            ``cell`` policy default to one fleet-wide cell; flat
+            policies ignore it.
     """
 
     dataset_number: int
@@ -77,6 +89,8 @@ class DeploymentSpec:
     checkpoint_every: int = 1
     resume: bool = False
     resilience: ResilienceConfig | None = None
+    fleet_cameras: int | None = None
+    cells: int | tuple[tuple[str, ...], ...] | None = None
 
     def __post_init__(self) -> None:
         # Fail fast: resolve_policy raises the "valid policies are ..."
@@ -116,6 +130,23 @@ class DeploymentSpec:
                 "resilience must be a ResilienceConfig, got "
                 f"{type(self.resilience).__name__}"
             )
+        if self.fleet_cameras is not None and self.fleet_cameras < 1:
+            raise ValueError(
+                f"fleet_cameras must be >= 1, got {self.fleet_cameras}"
+            )
+        if self.cells is not None:
+            # Same fail-fast contract: a malformed layout (duplicate
+            # camera ids, empty cells, more cells than cameras) must
+            # surface at spec construction, not after training.
+            base = DATASET_SPECS.get(self.dataset_number)
+            num_cameras = (
+                self.fleet_cameras
+                if self.fleet_cameras is not None
+                else (base.num_cameras if base is not None else None)
+            )
+            validate_cells_value(
+                self.cells, field="cells", num_cameras=num_cameras
+            )
 
     def make_checkpointer(self) -> RunCheckpointer | None:
         """The checkpoint driver this spec asks for (``None`` = off)."""
@@ -136,12 +167,21 @@ class DeploymentSpec:
         timing: TimingReport | None = None,
     ) -> DeploymentEngine:
         """An engine over the shared trained context for this spec."""
-        context = shared_context(
-            self.dataset_number,
-            config=config,
-            train_seed=self.train_seed,
-            timing=timing,
-        )
+        if self.fleet_cameras is not None:
+            context = fleet_context(
+                self.fleet_cameras,
+                base_number=self.dataset_number,
+                config=config,
+                train_seed=self.train_seed,
+                timing=timing,
+            )
+        else:
+            context = shared_context(
+                self.dataset_number,
+                config=config,
+                train_seed=self.train_seed,
+                timing=timing,
+            )
         return DeploymentEngine(
             context,
             seed=self.seed,
@@ -177,6 +217,7 @@ class DeploymentSpec:
                 end=self.end,
                 checkpointer=checkpointer,
                 resilience=self.resilience,
+                cells=self.cells,
             )
         finally:
             if owns_engine:

@@ -18,7 +18,6 @@ results; ``workers=1`` falls back to a plain in-process loop.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 from repro.core.config import EECSConfig
@@ -43,22 +42,6 @@ def get_runner(
     """
     context = shared_context(dataset_number, config=config)
     return SimulationRunner.from_engine(DeploymentEngine(context))
-
-
-def reset_runners() -> None:
-    """Deprecated no-op: runners are no longer cached.
-
-    The engine's immutable context cache replaced the runner cache;
-    use :func:`repro.engine.context.clear_shared_contexts` to force
-    re-training.
-    """
-    warnings.warn(
-        "reset_runners() is deprecated and does nothing: runners are no "
-        "longer cached (see repro.engine.context.shared_context / "
-        "clear_shared_contexts)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,187 @@
+"""The hierarchical budget coordinator above the cell controllers.
+
+Each re-calibration interval the coordinator re-allocates the global
+per-frame energy envelope across cells: a cell whose last selection
+overshot its desired accuracy sheds budget, a cell that missed it
+gains budget, and the scales are renormalised so the camera-weighted
+mean stays exactly 1.0 — the fleet as a whole never spends more than
+the flat deployment would.  With a single cell the allocation is the
+identity (scale exactly ``1.0``), which is what makes the ``cell``
+policy bit-identical to the flat ``subset`` protocol at one cell.
+
+The coordinator also folds per-cell :class:`SelectionDecision`s into
+the one global decision the engine loop records; folding one decision
+returns it unchanged (the same exactness guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.accuracy import DesiredAccuracy, GlobalAccuracy
+from repro.core.controller import SelectionDecision
+
+#: Clamp on the raw per-cell scale before renormalisation: a cell can
+#: gain or shed at most this fraction of its budget per interval, so
+#: allocation reacts without oscillating.
+MAX_SCALE_STEP = 0.25
+
+
+@dataclass(frozen=True)
+class CellReading:
+    """One cell's reported outcome of its last selection round."""
+
+    cell_id: str
+    num_cameras: int
+    achieved_objects: float
+    desired_objects: float
+
+    @property
+    def headroom(self) -> float:
+        """Achieved over desired object count (>= 1 means met)."""
+        if self.desired_objects <= 0:
+            return 1.0
+        return self.achieved_objects / self.desired_objects
+
+
+class BudgetCoordinator:
+    """Allocates per-cell budget scales and folds cell decisions."""
+
+    def __init__(self) -> None:
+        #: cell id -> latest reading; empty before the first round.
+        self.readings: dict[str, CellReading] = {}
+        #: cell id -> scale applied to the cell's budget this round.
+        self.scales: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Budget allocation
+    # ------------------------------------------------------------------
+    def allocate(
+        self, cell_ids: list[str], cameras_per_cell: dict[str, int]
+    ) -> dict[str, float]:
+        """Per-cell budget scales for the coming interval.
+
+        Without readings (the first round, or a single cell) every
+        scale is exactly ``1.0``.  Otherwise raw scales are the
+        inverse of each cell's accuracy headroom, clamped to
+        ``1 ± MAX_SCALE_STEP``, then renormalised so the
+        camera-weighted mean is 1: the global envelope is conserved.
+        """
+        if len(cell_ids) == 1 or not self.readings:
+            self.scales = {cell_id: 1.0 for cell_id in cell_ids}
+            return dict(self.scales)
+        raw: dict[str, float] = {}
+        for cell_id in cell_ids:
+            reading = self.readings.get(cell_id)
+            if reading is None:
+                raw[cell_id] = 1.0
+                continue
+            scale = 1.0 / reading.headroom if reading.headroom > 0 else 1.0
+            raw[cell_id] = min(
+                1.0 + MAX_SCALE_STEP, max(1.0 - MAX_SCALE_STEP, scale)
+            )
+        total_cameras = sum(cameras_per_cell[c] for c in cell_ids)
+        weighted = sum(
+            raw[c] * cameras_per_cell[c] for c in cell_ids
+        )
+        mean = weighted / total_cameras if total_cameras else 1.0
+        self.scales = {c: raw[c] / mean for c in cell_ids}
+        return dict(self.scales)
+
+    def observe(
+        self, cell_id: str, num_cameras: int, decision: SelectionDecision
+    ) -> None:
+        """Record one cell's selection outcome for the next allocation."""
+        self.readings[cell_id] = CellReading(
+            cell_id=cell_id,
+            num_cameras=num_cameras,
+            achieved_objects=decision.achieved.num_objects,
+            desired_objects=decision.desired.min_objects,
+        )
+
+    # ------------------------------------------------------------------
+    # Decision folding
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fold(decisions: list[SelectionDecision]) -> SelectionDecision:
+        """Merge per-cell decisions into one global decision.
+
+        A single decision is returned unchanged — the one-cell
+        hierarchy is exactly the flat protocol.  Multi-cell folds sum
+        the object counts and weight the probabilities by them.
+        """
+        if not decisions:
+            raise ValueError("cannot fold zero cell decisions")
+        if len(decisions) == 1:
+            return decisions[0]
+
+        def fold_accuracy(parts: list[GlobalAccuracy]) -> GlobalAccuracy:
+            total = sum(p.num_objects for p in parts)
+            if total > 0:
+                mean_p = (
+                    sum(p.num_objects * p.mean_probability for p in parts)
+                    / total
+                )
+            else:
+                mean_p = 0.0
+            return GlobalAccuracy(
+                num_objects=total, mean_probability=mean_p
+            )
+
+        assignment: dict[str, str] = {}
+        ranked: list[str] = []
+        for decision in decisions:
+            assignment.update(decision.assignment)
+            ranked.extend(decision.ranked_camera_ids)
+        desired_objects = sum(d.desired.min_objects for d in decisions)
+        if desired_objects > 0:
+            desired_probability = (
+                sum(
+                    d.desired.min_objects * d.desired.min_probability
+                    for d in decisions
+                )
+                / desired_objects
+            )
+        else:
+            desired_probability = 0.0
+        return SelectionDecision(
+            assignment=assignment,
+            baseline=fold_accuracy([d.baseline for d in decisions]),
+            desired=DesiredAccuracy(
+                min_objects=desired_objects,
+                min_probability=desired_probability,
+            ),
+            achieved=fold_accuracy([d.achieved for d in decisions]),
+            ranked_camera_ids=ranked,
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "scales": dict(self.scales),
+            "readings": {
+                cell_id: {
+                    "num_cameras": r.num_cameras,
+                    "achieved_objects": r.achieved_objects,
+                    "desired_objects": r.desired_objects,
+                }
+                for cell_id, r in self.readings.items()
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        self.scales = {
+            cell_id: float(scale)
+            for cell_id, scale in state["scales"].items()
+        }
+        self.readings = {
+            cell_id: CellReading(
+                cell_id=cell_id,
+                num_cameras=int(fields["num_cameras"]),
+                achieved_objects=float(fields["achieved_objects"]),
+                desired_objects=float(fields["desired_objects"]),
+            )
+            for cell_id, fields in state["readings"].items()
+        }

@@ -143,3 +143,52 @@ class AssessmentRequest(Message):
     @property
     def size_bytes(self) -> int:
         return 64 + 4 + 8 * len(self.algorithms)
+
+
+@dataclass
+class CellReport(Message):
+    """Cell leader -> coordinator: the cell's last selection outcome.
+
+    The hierarchical ``cell`` policy's upward half: each
+    re-calibration interval the cell leader reports how its local
+    selection fared against the desired accuracy, and the coordinator
+    re-allocates budget scales from the fleet-wide picture.
+    """
+
+    cell_id: str = ""
+    num_cameras: int = 0
+    achieved_objects: float = 0.0
+    desired_objects: float = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        return 64 + 8 + 4 + 8 + 8
+
+
+@dataclass
+class BudgetGrant(Message):
+    """Coordinator -> cell leader: the cell's budget scale for the
+    coming interval (the downward half of the hierarchy)."""
+
+    cell_id: str = ""
+    scale: float = 1.0
+
+    @property
+    def size_bytes(self) -> int:
+        return 64 + 8 + 8
+
+
+@dataclass
+class PeerClaim(Message):
+    """Camera -> neighbouring camera: one decentralised negotiation
+    step of the ``peer`` policy (N-queens-style conflict resolution:
+    a claim advertises the sender's utility and intended activation,
+    and neighbours back off from locally dominated claims)."""
+
+    negotiation_round: int = 0
+    utility: float = 0.0
+    active: bool = True
+
+    @property
+    def size_bytes(self) -> int:
+        return 64 + 4 + 8 + 1

@@ -119,9 +119,10 @@ class TestExecutors:
 
 
 class TestPolicyRegistry:
-    def test_all_four_registered(self):
+    def test_all_registered(self):
         assert available_policies() == (
-            "all_best", "fixed", "full", "subset",
+            "all_best", "cell", "cell_full", "fixed", "full", "peer",
+            "subset",
         )
 
     def test_unknown_name_lists_valid_policies(self):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import EECSConfig
-from repro.experiments.harness import RunSpec, get_runner, reset_runners
+from repro.experiments.harness import RunSpec, get_runner
 
 
 class TestHarness:
@@ -30,11 +30,13 @@ class TestHarness:
         again = get_runner(1, config=EECSConfig(gamma_n=0.7))
         assert again.engine.context is custom.engine.context
 
-    def test_reset_runners_is_deprecated_noop(self):
-        before = get_runner(1).engine.context
-        with pytest.warns(DeprecationWarning):
-            reset_runners()
-        assert get_runner(1).engine.context is before
+    def test_reset_runners_is_gone(self):
+        """The deprecated facade shim was removed outright."""
+        import repro.experiments as experiments
+        import repro.experiments.harness as harness
+
+        assert not hasattr(harness, "reset_runners")
+        assert "reset_runners" not in experiments.__all__
 
     def test_run_spec_validates_policy_name(self):
         with pytest.raises(ValueError, match="valid policies are"):

@@ -29,7 +29,17 @@ CONTRACTS = {
     "repro.datasets": ("repro.engine", "repro.experiments", "repro.cli"),
     "repro.detection": ("repro.engine", "repro.experiments", "repro.cli"),
     "repro.energy": ("repro.engine", "repro.experiments", "repro.cli"),
-    "repro.network": ("repro.engine", "repro.experiments", "repro.cli"),
+    "repro.network": (
+        "repro.engine",
+        "repro.experiments",
+        "repro.cli",
+        "repro.fleet",
+    ),
+    # Fleet mechanisms (cells, coordinator, peer protocol, tiled
+    # worlds) sit below the engine: the engine and its policies import
+    # repro.fleet, never the reverse.  The fleet may use the network
+    # and checkpoint codecs, but not the orchestration layers.
+    "repro.fleet": ("repro.engine", "repro.experiments", "repro.cli"),
     # The resilience layer sits between the fault model and the
     # engine: it may read repro.faults / repro.telemetry / repro.core,
     # and the engine may import it — never the reverse.  It also never
