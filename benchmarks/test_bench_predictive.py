@@ -1,0 +1,93 @@
+"""Predictive wake-up policy benchmarks.
+
+The tentpole claim: gating assessments with per-camera activity
+regressors — rationed so at most ``max_sleepers`` redundant views
+sleep per round — extends analytic network lifetime by at least
+``PREDICTIVE_MIN_EXTENSION`` while keeping detection retention above
+``PREDICTIVE_RETENTION_FLOOR`` versus the ``subset`` baseline on the
+8-camera single-scene ring.  Measured 1.88x at 98.7% retention
+(``max_sleepers=2``); the floors below leave headroom without letting
+the policy degenerate.
+
+Unlike the wall-clock benches, every number here is deterministic, so
+the floors double as regression pins.  Evidence is recorded in
+``BENCH_predictive.json`` (regenerate with
+``benchmarks/gen_bench_predictive.py``; recipe in EXPERIMENTS.md) and
+the ``predictive-smoke`` CI job runs this file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks._bench_util import assert_floor, env_float
+from repro.experiments.predictive import (
+    compare_predictive_lifetime,
+    predictive_context,
+)
+
+# Measured 1.875x lifetime at max_sleepers=2; the ISSUE floor is 1.3x.
+PREDICTIVE_MIN_EXTENSION = env_float("PREDICTIVE_MIN_EXTENSION", 1.3)
+# Measured 0.9871 retention; the ISSUE cap is <= 2% loss.
+PREDICTIVE_RETENTION_FLOOR = env_float("PREDICTIVE_RETENTION_FLOOR", 0.98)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return compare_predictive_lifetime(context=predictive_context())
+
+
+def test_lifetime_extension_floor(report):
+    assert_floor(
+        report.lifetime_extension,
+        PREDICTIVE_MIN_EXTENSION,
+        "predictive lifetime extension vs subset "
+        "(PREDICTIVE_MIN_EXTENSION)",
+    )
+
+
+def test_detection_retention_floor(report):
+    assert_floor(
+        report.detection_retention,
+        PREDICTIVE_RETENTION_FLOOR,
+        "predictive detection retention vs subset "
+        "(PREDICTIVE_RETENTION_FLOOR)",
+    )
+
+
+def test_predictive_actually_saves_energy(report):
+    """The extension must come from a genuinely smaller energy bill,
+    not a quirk of the analytic pass arithmetic."""
+    assert report.predictive.energy_joules < report.subset.energy_joules
+
+
+def test_bench_predictive_json_records_acceptance():
+    """BENCH_predictive.json pins the recorded evidence; keep its
+    ratios self-consistent and above the acceptance floors."""
+    path = (
+        Path(__file__).resolve().parent.parent / "BENCH_predictive.json"
+    )
+    data = json.loads(path.read_text())
+    assert data["units"] == "detections_joules_and_passes"
+    assert data["setup"]["cameras"] == 8
+    for name, entry in data["results"].items():
+        subset, pred = entry["subset"], entry["predictive"]
+        assert entry["detection_retention"] == pytest.approx(
+            pred["detection_rate"] / subset["detection_rate"], abs=0.001
+        ), name
+        assert entry["lifetime_extension"] == pytest.approx(
+            pred["lifetime_passes"] / subset["lifetime_passes"], abs=0.001
+        ), name
+        assert pred["energy_joules"] < subset["energy_joules"], name
+        # The recorded operating points meet the acceptance criteria:
+        # >= 1.3x lifetime at <= 2% detection loss.
+        assert entry["lifetime_extension"] >= 1.3, name
+        assert entry["detection_retention"] >= 0.98, name
+    # The ration trade: more sleepers, more lifetime, less retention.
+    two = data["results"]["max_sleepers_2"]
+    three = data["results"]["max_sleepers_3"]
+    assert three["lifetime_extension"] > two["lifetime_extension"]
+    assert three["detection_retention"] <= two["detection_retention"]

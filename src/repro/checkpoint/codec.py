@@ -224,6 +224,26 @@ def verify_event_prefix(
             )
 
 
+def policy_state_to_dict(policy) -> dict | None:
+    """A coordination policy's mutable per-run state, or ``None``.
+
+    Duck-typed (the codec sits below :mod:`repro.engine`): any object
+    with a ``snapshot_state()`` method participates; stateless
+    policies return ``None`` and contribute nothing to the payload, so
+    checkpoints written before stateful policies existed are unchanged.
+    """
+    snapshot = getattr(policy, "snapshot_state", None)
+    return snapshot() if snapshot is not None else None
+
+
+def restore_policy_state(policy, state: dict | None) -> None:
+    """Adopt a :func:`policy_state_to_dict` payload (no-op for
+    stateless policies or empty payloads)."""
+    restore = getattr(policy, "restore_state", None)
+    if restore is not None and state:
+        restore(state)
+
+
 def live_telemetry_to_dict(telemetry) -> dict:
     """Streaming-flush continuity state of a ``Telemetry`` object.
 

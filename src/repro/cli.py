@@ -73,13 +73,26 @@ def _attach_live(telemetry, args: argparse.Namespace):
             try:
                 telemetry.add_alert_rule(expression)
             except AlertRuleError as exc:
+                # Any stream sink attached above already holds an open
+                # file handle; release it before bailing out.
+                telemetry.close_sinks()
                 raise SystemExit(f"error: {exc}")
     if args.metrics_port is None:
         return None
     from repro.telemetry import MetricsExporter
 
-    exporter = MetricsExporter(telemetry, port=args.metrics_port)
-    exporter.start()
+    try:
+        exporter = MetricsExporter(telemetry, port=args.metrics_port)
+        exporter.start()
+    except OSError as exc:
+        # Binding fails in the server constructor when the port is
+        # already taken; surface it like every other CLI usage error
+        # instead of a traceback, and release any attached sinks.
+        telemetry.close_sinks()
+        raise SystemExit(
+            f"error: cannot serve metrics on port "
+            f"{args.metrics_port}: {exc}"
+        )
     print(
         f"serving /metrics and /status on "
         f"http://{exporter.host}:{exporter.port}"
@@ -253,6 +266,23 @@ def _make_resilience_config(args: argparse.Namespace):
     )
 
 
+def _check_predictive_flags(args: argparse.Namespace) -> None:
+    """Reject predictive tunables without ``--mode predictive``."""
+    if args.mode == "predictive":
+        return
+    for flag in (
+        "wake_threshold",
+        "predictor_warmup",
+        "wake_probe_every",
+        "max_sleepers",
+        "low_energy_below",
+    ):
+        if getattr(args, flag) is not None:
+            raise SystemExit(
+                f"--{flag.replace('_', '-')} requires --mode predictive"
+            )
+
+
 def _make_checkpoint_config(args: argparse.Namespace):
     if not args.checkpoint_dir:
         if args.resume:
@@ -388,6 +418,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 else defaults.recalibration_interval
             ),
         )
+    _check_predictive_flags(args)
     spec = DeploymentSpec(
         dataset_number=args.dataset,
         policy=args.mode,
@@ -401,6 +432,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         resilience=_make_resilience_config(args),
         fleet_cameras=args.fleet_cameras,
         cells=args.cells,
+        wake_threshold=args.wake_threshold,
+        predictor_warmup=args.predictor_warmup,
+        wake_probe_every=args.wake_probe_every,
+        max_sleepers=args.max_sleepers,
+        low_energy_below=args.low_energy_below,
     )
     checkpoint_config = _make_checkpoint_config(args)
     checkpointer = (
@@ -702,11 +738,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", type=int, default=1, choices=(1, 2, 3, 4))
     p.add_argument(
         "--mode",
+        "--policy",
         default="full",
         choices=available_policies(),
         help="coordination policy (every registered policy is accepted; "
         "'fixed' additionally needs an assignment and is mainly for "
         "programmatic use)",
+    )
+    p.add_argument(
+        "--wake-threshold",
+        type=float,
+        default=None,
+        metavar="A",
+        help="predictive policy: predicted activity (detections per "
+        "assessment frame) below which a camera's assessment is "
+        "skipped for the round (default 0.45)",
+    )
+    p.add_argument(
+        "--predictor-warmup",
+        type=int,
+        default=None,
+        metavar="N",
+        help="predictive policy: assessed rounds a camera must be "
+        "observed before it may sleep (default 2; larger than the "
+        "run's round count reproduces subset bit for bit)",
+    )
+    p.add_argument(
+        "--wake-probe-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="predictive policy: wake every sleeping camera for a "
+        "probe assessment at least every N rounds (default 4)",
+    )
+    p.add_argument(
+        "--max-sleepers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="predictive policy: at most N cameras may sleep per round "
+        "(the lowest-predicted win the slots; default 1; 0 = uncapped)",
+    )
+    p.add_argument(
+        "--low-energy-below",
+        type=float,
+        default=None,
+        metavar="A",
+        help="predictive policy: downgrade woken selected cameras "
+        "predicted below activity A to their cheapest affordable "
+        "detector profile (default: disabled)",
     )
     p.add_argument("--budget", type=float, default=2.0)
     p.add_argument("--seed", type=int, default=2017)

@@ -57,6 +57,7 @@ from repro.engine.executor import (
     make_executor,
     validate_executor_name,
 )
+from repro.engine.predictive import PredictivePolicy
 from repro.engine.policy import (
     AllBestPolicy,
     CoordinationPolicy,
@@ -87,6 +88,7 @@ __all__ = [
     "FullEECSPolicy",
     "IdealEnvironment",
     "PeerPolicy",
+    "PredictivePolicy",
     "NetworkConditions",
     "NetworkOutcome",
     "ProcessPoolDetectionExecutor",

@@ -46,8 +46,10 @@ from repro.checkpoint.codec import (
     decision_from_dict,
     decision_to_dict,
     live_telemetry_to_dict,
+    policy_state_to_dict,
     restore_controller_state,
     restore_live_telemetry,
+    restore_policy_state,
     restore_rng_state,
     rng_state_to_dict,
 )
@@ -421,13 +423,22 @@ class DeploymentEngine:
         records: list[FrameRecord],
         budget: float | None,
         meter: EnergyMeter,
+        skip_cameras: tuple[str, ...] = (),
     ) -> AssessmentData:
-        """Run all affordable algorithms on the assessment frames."""
+        """Run all affordable algorithms on the assessment frames.
+
+        Cameras in ``skip_cameras`` (a predictive round's sleepers)
+        contribute no assessment metadata and, because the meter only
+        ever sees executed requests, are charged nothing.
+        """
+        skipped = set(skip_cameras)
         plan: list[tuple[FrameRecord, dict[str, list[str]]]] = []
         requests: list[tuple[FrameRecord, str, str]] = []
         for record in records:
             per_camera: dict[str, list[str]] = {}
             for camera_id in self.dataset.camera_ids:
+                if camera_id in skipped:
+                    continue
                 algorithms = self.affordable_algorithms(camera_id, budget)
                 if not algorithms:
                     continue
@@ -680,6 +691,13 @@ class DeploymentEngine:
                 # Only present for cell-aware runs so pre-fleet
                 # checkpoint fingerprints are unchanged.
                 metadata["cells"] = self.cell_layout.to_dict()
+            policy_config = policy.config_fingerprint()
+            if policy_config is not None:
+                # Only present for configured policies (predictive's
+                # wake tunables) so pre-existing checkpoint
+                # fingerprints are unchanged — and a resume under a
+                # different wake configuration is refused.
+                metadata["policy_config"] = policy_config
             resume_state = checkpointer.begin("run", metadata)
             if resume_state is not None:
                 (
@@ -688,7 +706,7 @@ class DeploymentEngine:
                     present_total,
                     probabilities,
                     decisions,
-                ) = self._restore_checkpoint(resume_state, meter)
+                ) = self._restore_checkpoint(resume_state, meter, policy)
                 if self.telemetry is not None:
                     # Stitch the live stream: sinks drop every round
                     # this resumed run will flush again, so the final
@@ -759,6 +777,7 @@ class DeploymentEngine:
                             probabilities,
                             decisions,
                             meter,
+                            policy,
                         ),
                     )
         finally:
@@ -808,9 +827,13 @@ class DeploymentEngine:
         meter: EnergyMeter,
     ) -> tuple[int, int, list[float], SelectionDecision]:
         """One assess -> select -> operate round of the protocol."""
+        self.clock.advance_to_frame(round_plan.records[0].frame_index)
+        # Per-round policy adjustment (predictive wake/skip decisions)
+        # happens after the clock advance so emitted events carry the
+        # round's simulation time, and before any detection runs.
+        round_plan = policy.refine_round(self, round_plan, round_index)
         assess_records = round_plan.records[: round_plan.assess_count]
         operate_records = round_plan.records[round_plan.assess_count :]
-        self.clock.advance_to_frame(round_plan.records[0].frame_index)
 
         round_span = None
         if self.telemetry is not None:
@@ -826,7 +849,10 @@ class DeploymentEngine:
         try:
             with self.timing.section("assessment"):
                 assessment = self.collect_assessment(
-                    assess_records, budget, meter
+                    assess_records,
+                    budget,
+                    meter,
+                    skip_cameras=round_plan.skip_cameras,
                 )
             with self.timing.section("selection"):
                 decision = policy.select(
@@ -881,6 +907,7 @@ class DeploymentEngine:
         probabilities: list[float],
         decisions: list[SelectionDecision],
         meter: EnergyMeter,
+        policy: CoordinationPolicy | None = None,
     ) -> dict:
         """Everything :meth:`run` mutates, as exact JSON values."""
         state = {
@@ -899,13 +926,23 @@ class DeploymentEngine:
             state["resilience"] = self._resilience.snapshot()
         if self._fleet is not None:
             state["fleet"] = self._fleet.snapshot()
+        if policy is not None:
+            policy_state = policy_state_to_dict(policy)
+            if policy_state is not None:
+                # Only stateful policies (predictive's regressor bank)
+                # add this key, so stateless-policy checkpoints keep
+                # their pre-existing byte layout.
+                state["policy"] = policy_state
         if self.telemetry is not None:
             state["metrics"] = self.telemetry.registry.snapshot()
             state["live"] = live_telemetry_to_dict(self.telemetry)
         return state
 
     def _restore_checkpoint(
-        self, state: dict, meter: EnergyMeter
+        self,
+        state: dict,
+        meter: EnergyMeter,
+        policy: CoordinationPolicy | None = None,
     ) -> tuple[int, int, int, list[float], list[SelectionDecision]]:
         """Adopt a :meth:`_capture_checkpoint` payload.
 
@@ -923,6 +960,8 @@ class DeploymentEngine:
             self._resilience.restore(state["resilience"])
         if self._fleet is not None and state.get("fleet"):
             self._fleet.restore(state["fleet"])
+        if policy is not None:
+            restore_policy_state(policy, state.get("policy"))
         if self.telemetry is not None and state.get("metrics"):
             self.telemetry.registry.merge(state["metrics"])
         if self.telemetry is not None and state.get("live"):

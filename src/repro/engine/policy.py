@@ -40,11 +40,17 @@ class RoundPlan:
         static_assignments: Per-record camera->algorithm maps for
             rounds that operate without a selection decision; ``None``
             when the assignment comes from :meth:`CoordinationPolicy.select`.
+        skip_cameras: Cameras excluded from this round's assessment —
+            they run nothing, upload nothing and are charged nothing.
+            Normally empty; the ``predictive`` policy's
+            :meth:`CoordinationPolicy.refine_round` fills it with the
+            cameras its regressors predict idle.
     """
 
     records: list["FrameRecord"]
     assess_count: int = 0
     static_assignments: list[dict[str, str]] | None = None
+    skip_cameras: tuple[str, ...] = ()
 
 
 class CoordinationPolicy(ABC):
@@ -89,6 +95,50 @@ class CoordinationPolicy(ABC):
         assignment: dict[str, str] | None,
     ) -> list[RoundPlan]:
         """Partition the deployment window into rounds."""
+
+    def refine_round(
+        self,
+        engine: "DeploymentEngine",
+        round_plan: RoundPlan,
+        round_index: int,
+    ) -> RoundPlan:
+        """Last-moment adjustment of one round, at its start.
+
+        Called by the engine at every assessed round boundary (after
+        the clock has advanced to the round's first frame, before any
+        detection runs).  A policy that schedules per-round — the
+        ``predictive`` policy fills :attr:`RoundPlan.skip_cameras`
+        from its regressors here — returns an adjusted plan; it must
+        preserve ``records`` and ``assess_count`` (the phase schedule
+        belongs to :meth:`plan_rounds`).  The default is the identity.
+        """
+        return round_plan
+
+    def snapshot_state(self) -> dict | None:
+        """Per-run mutable policy state as exact JSON values.
+
+        ``None`` (the default for stateless policies) keeps the
+        checkpoint payload unchanged, so pre-existing checkpoints and
+        their fingerprints are untouched.  Stateful policies — the
+        ``predictive`` policy snapshots its regressor bank and sleep
+        counters — return a dict that :meth:`restore_state` can adopt
+        bit for bit.
+        """
+        return None
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot_state` payload (default: no-op)."""
+
+    def config_fingerprint(self) -> dict | None:
+        """Configuration that must match for a checkpoint resume.
+
+        ``None`` (the default) adds nothing to the checkpoint
+        fingerprint; policies whose tunables change the trajectory
+        (wake thresholds, warmup) return them here so a resume under a
+        different configuration is refused instead of silently
+        diverging.
+        """
+        return None
 
     def select(
         self,

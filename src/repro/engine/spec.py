@@ -73,6 +73,12 @@ class DeploymentSpec:
             tuples so the spec stays hashable).  ``None`` lets the
             ``cell`` policy default to one fleet-wide cell; flat
             policies ignore it.
+        wake_threshold / predictor_warmup / wake_probe_every /
+        max_sleepers / low_energy_below: Tunables of the
+            ``predictive`` policy (see
+            :class:`~repro.predictive.PredictiveConfig`); ``None``
+            keeps each default.  ``max_sleepers=0`` spells "uncapped".
+            Any of them set with a different policy is a spec error.
     """
 
     dataset_number: int
@@ -91,6 +97,11 @@ class DeploymentSpec:
     resilience: ResilienceConfig | None = None
     fleet_cameras: int | None = None
     cells: int | tuple[tuple[str, ...], ...] | None = None
+    wake_threshold: float | None = None
+    predictor_warmup: int | None = None
+    wake_probe_every: int | None = None
+    max_sleepers: int | None = None
+    low_energy_below: float | None = None
 
     def __post_init__(self) -> None:
         # Fail fast: resolve_policy raises the "valid policies are ..."
@@ -147,6 +158,52 @@ class DeploymentSpec:
             validate_cells_value(
                 self.cells, field="cells", num_cameras=num_cameras
             )
+        predictive_fields = {
+            "wake_threshold": self.wake_threshold,
+            "predictor_warmup": self.predictor_warmup,
+            "wake_probe_every": self.wake_probe_every,
+            "max_sleepers": self.max_sleepers,
+            "low_energy_below": self.low_energy_below,
+        }
+        set_fields = [k for k, v in predictive_fields.items() if v is not None]
+        if set_fields and self.policy != "predictive":
+            raise ValueError(
+                f"{', '.join(set_fields)} require(s) policy "
+                f"'predictive', got {self.policy!r}"
+            )
+        if self.policy == "predictive":
+            # Fail fast: a bad wake configuration (negative threshold,
+            # zero warmup) surfaces at spec construction, not after
+            # training.  The same construction happens again in
+            # execute(), so the two can never disagree.
+            self._predictive_config()
+
+    def _predictive_config(self):
+        """The :class:`~repro.predictive.PredictiveConfig` this spec
+        describes (policy ``"predictive"`` only)."""
+        from repro.predictive import PredictiveConfig
+
+        return PredictiveConfig.from_overrides(
+            wake_threshold=self.wake_threshold,
+            predictor_warmup=self.predictor_warmup,
+            probe_every=self.wake_probe_every,
+            max_sleepers=self.max_sleepers,
+            low_energy_below=self.low_energy_below,
+            seed=self.seed,
+        )
+
+    def _runtime_policy(self):
+        """The policy instance :meth:`execute` hands to the engine.
+
+        Plain names pass through (the engine resolves them);
+        ``predictive`` is constructed here so the spec's wake tunables
+        reach the policy.
+        """
+        if self.policy != "predictive":
+            return self.policy
+        from repro.engine.predictive import PredictivePolicy
+
+        return PredictivePolicy(self._predictive_config())
 
     def make_checkpointer(self) -> RunCheckpointer | None:
         """The checkpoint driver this spec asks for (``None`` = off)."""
@@ -210,7 +267,7 @@ class DeploymentSpec:
             checkpointer = self.make_checkpointer()
         try:
             return engine.run(
-                self.policy,
+                self._runtime_policy(),
                 budget=self.budget,
                 assignment=dict(self.assignment) if self.assignment else None,
                 start=self.start,

@@ -1,0 +1,51 @@
+"""The PCA-RECT-style low-energy detector profile.
+
+PCA-RECT (PAPERS.md, arXiv:1904.12665) pairs an event-style,
+sparse-feature detector with a conventional pipeline: most frames run
+the cheap path, the expensive detector only fires when the scene
+warrants it.  The reproduction's detector suite already spans that
+energy range (ACF's fitted power-law costs roughly a fifteenth of
+HOG's per frame at the synthetic resolutions), so the low-energy
+profile is a *selection* rule rather than a new detector: a woken
+camera whose predicted activity sits in the marginal band is pinned to
+its cheapest affordable algorithm — it keeps contributing coverage,
+but stops paying flagship-detector energy for frames the regressor
+says are probably empty.
+
+Mirrors the resilience ladder's ``CAMERA_DEGRADED`` pinning rule
+(cheapest affordable profile, algorithm name as tie-break) so the two
+degradation paths pick identically.
+"""
+
+from __future__ import annotations
+
+
+def low_energy_algorithm(
+    item,
+    budget: float,
+    communication_cost: float,
+    available: set[str],
+) -> str | None:
+    """The cheapest affordable assessed algorithm, or ``None``.
+
+    Args:
+        item: The camera's matched
+            :class:`~repro.core.calibration.TrainingItem` (profiles
+            with fitted per-frame energy).
+        budget: The camera's per-frame energy budget.
+        communication_cost: Per-frame metadata upload cost.
+        available: Algorithms with assessment metadata this round —
+            only those can be evaluated and deployed.
+    """
+    candidates = [
+        profile
+        for profile in item.profiles.values()
+        if profile.algorithm in available
+        and profile.energy_per_frame + communication_cost <= budget
+    ]
+    if not candidates:
+        return None
+    cheapest = min(
+        candidates, key=lambda p: (p.energy_per_frame, p.algorithm)
+    )
+    return cheapest.algorithm

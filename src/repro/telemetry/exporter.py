@@ -92,6 +92,7 @@ class MetricsExporter:
         self._server = ThreadingHTTPServer((host, port), handler)
         self._server.daemon_threads = True
         self._thread: threading.Thread | None = None
+        self._closed = False
 
     @property
     def port(self) -> int:
@@ -112,6 +113,13 @@ class MetricsExporter:
         return self
 
     def close(self) -> None:
+        """Stop serving and release the socket.  Idempotent: the CLI's
+        ``finally`` teardown and an error path may both close the same
+        exporter, and ``server_close`` on an already-closed socket is
+        not guaranteed harmless across platforms."""
+        if self._closed:
+            return
+        self._closed = True
         if self._thread is not None:
             self._server.shutdown()
             self._thread.join(timeout=5)

@@ -203,6 +203,17 @@ class JsonlStreamSink(TelemetrySink):
                 part.unlink()
             self.path.unlink(missing_ok=True)
         self._size = self.path.stat().st_size if self.path.exists() else 0
+        self._closed = False
+        # Open eagerly: the descriptor exists for the sink's whole
+        # lifetime, so an unwritable path fails at attach time (not at
+        # the first round flush) and every construction must be paired
+        # with close() — the leak the CLI error paths are tested for.
+        self._open()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has released the descriptor."""
+        return self._closed
 
     def _open(self) -> int:
         if self._fd is None:
@@ -275,6 +286,7 @@ class JsonlStreamSink(TelemetrySink):
 
     def close(self) -> None:
         self._close_fd()
+        self._closed = True
 
 
 def stream_round_indices(records: Iterable[dict]) -> list[int]:

@@ -44,6 +44,25 @@ record shape is unchanged):
   ``camera_recalibrated`` (recoveries), with controller
   ``reselected`` events recording the substitutions they trigger.
 
+The predictive wake-up policy audits every gate decision (one event
+per camera per assessed round, ``node_id`` = the camera):
+
+* ``camera_wake`` / ``camera_skip`` — the camera was assessed /
+  slept through the round.  ``detail`` carries ``round`` (round
+  index), ``predicted`` (the regressor's activity forecast, ``null``
+  before the first observation), ``threshold`` (the configured wake
+  threshold) and ``reason``: ``warmup`` (regressor not warmed up
+  yet), ``probe`` (forced staleness-bounding wake), ``rationed``
+  (wanted to sleep but lost the sleep-slot ration),
+  ``predicted_active`` (forecast above threshold), ``quorum``
+  (rescued so at least one camera stays awake) for wakes, and
+  ``predicted_idle`` for skips;
+* ``camera_low_energy`` — a woken selected camera predicted below
+  ``low_energy_below`` was pinned to its cheapest affordable
+  detector; ``detail`` carries ``predicted``, ``threshold``,
+  ``previous`` (the selector's choice) and ``algorithm`` (the
+  low-energy profile it was rewritten to).
+
 ``--stream-out`` (JSONL, one ``repro.stream.v1`` record per completed
 round/tick, appended atomically *during* the run, fsynced at
 rotation and close)::

@@ -122,7 +122,7 @@ class TestPolicyRegistry:
     def test_all_registered(self):
         assert available_policies() == (
             "all_best", "cell", "cell_full", "fixed", "full", "peer",
-            "subset",
+            "predictive", "subset",
         )
 
     def test_unknown_name_lists_valid_policies(self):

@@ -90,7 +90,9 @@ def test_run_invariants(runner1, policy, budget, n_workers, end, draw_bits):
 
     # Assessing policies record one decision per re-calibration round;
     # static policies record none.
-    if policy in ("subset", "full", "cell", "cell_full", "peer"):
+    if policy in (
+        "subset", "full", "cell", "cell_full", "peer", "predictive"
+    ):
         assert result.decisions
     else:
         assert result.decisions == []

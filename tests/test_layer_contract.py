@@ -73,6 +73,18 @@ CONTRACTS = {
         "repro.resilience",
     ),
     "repro.perf": ("repro.engine", "repro.experiments", "repro.cli"),
+    # The predictive wake-up layer (regressors, wake config, activity
+    # features) sits between the core math and the engine: the
+    # predictive *policy* lives in repro.engine and imports it, never
+    # the reverse.  It also reads nothing from the network or the
+    # resilience ladder — it learns purely from assessment telemetry.
+    "repro.predictive": (
+        "repro.engine",
+        "repro.experiments",
+        "repro.cli",
+        "repro.network",
+        "repro.resilience",
+    ),
     # Checkpointing encodes values and stores documents; the engine
     # decides what its state is.  The engine imports checkpoint, never
     # the other way around.

@@ -2,7 +2,9 @@
 inertness guarantee (live streaming on ⇒ simulation output unchanged).
 """
 
+import argparse
 import json
+import socket
 import urllib.request
 
 import pytest
@@ -289,6 +291,95 @@ class TestExporter:
         with pytest.raises(urllib.error.HTTPError) as err:
             self._get(exporter, "/nope")
         assert err.value.code == 404
+
+    def test_close_is_idempotent(self):
+        exporter = MetricsExporter(Telemetry(run_id="t"), port=0)
+        exporter.start()
+        exporter.close()
+        exporter.close()  # CLI teardown + error path both close
+
+    def test_close_without_start_is_idempotent(self):
+        exporter = MetricsExporter(Telemetry(run_id="t"), port=0)
+        exporter.close()
+        exporter.close()
+
+
+def _live_args(**overrides):
+    """The argparse surface _attach_live consumes, defaults off."""
+    values = {
+        "stream_out": None,
+        "stream_rotate_bytes": None,
+        "alert_rule": [],
+        "metrics_port": None,
+        "resume": False,
+    }
+    values.update(overrides)
+    return argparse.Namespace(**values)
+
+
+class TestAttachLiveErrorPaths:
+    """CLI usage errors must exit cleanly and leak no resources."""
+
+    def test_bad_alert_rule_is_a_usage_error(self, tmp_path):
+        from repro.cli import _attach_live
+
+        telemetry = Telemetry(run_id="t")
+        with pytest.raises(SystemExit, match="^error: "):
+            _attach_live(
+                telemetry, _live_args(alert_rule=["metric == 5"])
+            )
+
+    def test_bad_alert_rule_closes_attached_stream_sink(self, tmp_path):
+        from repro.cli import _attach_live
+
+        telemetry = Telemetry(run_id="t")
+        with pytest.raises(SystemExit, match="^error: "):
+            _attach_live(
+                telemetry,
+                _live_args(
+                    stream_out=str(tmp_path / "s.jsonl"),
+                    alert_rule=["not a rule"],
+                ),
+            )
+        (sink,) = telemetry._sinks
+        assert sink.closed
+
+    def test_taken_metrics_port_is_a_usage_error(self, tmp_path):
+        from repro.cli import _attach_live
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            port = blocker.getsockname()[1]
+            telemetry = Telemetry(run_id="t")
+            with pytest.raises(SystemExit, match="^error: ") as err:
+                _attach_live(
+                    telemetry,
+                    _live_args(
+                        stream_out=str(tmp_path / "s.jsonl"),
+                        metrics_port=port,
+                    ),
+                )
+            assert str(port) in str(err.value)
+            (sink,) = telemetry._sinks
+            assert sink.closed
+        finally:
+            blocker.close()
+
+
+class TestJsonlStreamSinkLifecycle:
+    def test_descriptor_is_eager_and_close_is_observable(self, tmp_path):
+        sink = JsonlStreamSink(tmp_path / "s.jsonl")
+        assert not sink.closed
+        assert (tmp_path / "s.jsonl").exists()
+        sink.close()
+        assert sink.closed
+
+    def test_unwritable_path_fails_at_attach_time(self, tmp_path):
+        target = tmp_path / "dir.jsonl"
+        target.mkdir()
+        with pytest.raises(OSError):
+            JsonlStreamSink(target)
 
 
 class TestLiveStreamingIsInert:

@@ -9,7 +9,12 @@ the simulation results must stay byte-identical to a clean run.
 import json
 
 from repro.cli import main
-from repro.telemetry import check_stream_contiguous, read_stream_records
+from repro.telemetry import (
+    JsonlStreamSink,
+    check_stream_contiguous,
+    read_stream_records,
+)
+from repro.telemetry.live import build_stream_record
 from repro.telemetry.schema import validate_stream_file
 
 
@@ -82,6 +87,96 @@ class TestRunStreamStitching:
         records = read_stream_records(stream)
         check_stream_contiguous(records)
         assert all(r["round"] != 99 for r in records)
+
+
+def _fixed_record(seq, round_index):
+    """A record whose serialized length is the same for every seq < 10,
+    so rotation boundaries can be pinned to exact byte offsets."""
+    return build_stream_record(
+        run_id="rot",
+        seq=seq,
+        round_index=round_index,
+        time_s=0.0,
+        metrics={"schema": "repro.metrics.v1", "metrics": []},
+        events=[],
+        alerts=[],
+    )
+
+
+class TestRotationBoundaryStitching:
+    """A kill that tears the live file *at* the rotation boundary must
+    still stitch into one coherent stream on resume."""
+
+    def test_torn_line_at_exact_rotation_boundary(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        line_len = len(
+            json.dumps(_fixed_record(0, 0), sort_keys=True) + "\n"
+        )
+        rotate = 4 * line_len
+
+        sink = JsonlStreamSink(path, rotate_bytes=rotate)
+        for i in range(4):
+            sink.emit(_fixed_record(i, i))
+        sink.close()
+        # A record that exactly fills the file does not rotate: the
+        # live file sits at precisely rotate_bytes, the worst case.
+        assert path.stat().st_size == rotate
+        assert not (tmp_path / "s.jsonl.1").exists()
+
+        # OS-crash torn write of record 4, straddling the boundary.
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"schema": "repro.stream.v1", "seq": 4, "rou')
+
+        resumed = JsonlStreamSink(path, rotate_bytes=rotate, resume=True)
+        resumed.on_resume(4)
+        # The torn tail is gone; the stitched file is back at the
+        # boundary, so the very next emit must rotate.
+        assert path.stat().st_size == rotate
+        for i in range(4, 7):
+            resumed.emit(_fixed_record(i, i))
+        resumed.close()
+
+        assert (tmp_path / "s.jsonl.1").exists()
+        records = read_stream_records(path)
+        check_stream_contiguous(records)
+        assert [r["round"] for r in records] == list(range(7))
+
+    def test_crash_resume_with_rotation_active(self, capsys, tmp_path):
+        base = [
+            "run", "--dataset", "1", "--mode", "full", "--seed", "7",
+            "--start", "1000", "--end", "1300",
+            "--recalibration-interval", "100",
+        ]
+        clean_stream = tmp_path / "clean.jsonl"
+        stitched_stream = tmp_path / "stitched.jsonl"
+        ckpt = tmp_path / "ckpt"
+
+        assert main(base + ["--stream-out", str(clean_stream)]) == 0
+
+        # Rotate on effectively every flush (each cumulative snapshot
+        # record is far bigger than 1 KiB), so the crash always lands
+        # with a rotation chain on disk.
+        rotated = ["--stream-rotate-bytes", "1024"]
+        assert main(base + rotated + [
+            "--checkpoint-dir", str(ckpt), "--crash-after", "1",
+            "--stream-out", str(stitched_stream),
+        ]) == 3
+        assert "interrupted" in capsys.readouterr().out
+        assert (tmp_path / "stitched.jsonl.1").exists()
+
+        assert main(base + rotated + [
+            "--checkpoint-dir", str(ckpt), "--resume",
+            "--stream-out", str(stitched_stream),
+        ]) == 0
+
+        clean = read_stream_records(clean_stream)
+        stitched = read_stream_records(stitched_stream)
+        check_stream_contiguous(stitched)
+        assert validate_stream_file(stitched_stream) == len(stitched)
+        assert len(stitched) == len(clean)
+        assert _comparable_metrics(stitched[-1]) == _comparable_metrics(
+            clean[-1]
+        )
 
 
 class TestChaosStreamStitching:
